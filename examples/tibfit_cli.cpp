@@ -1,0 +1,182 @@
+// tibfit_cli — run any TIBFIT experiment from the command line.
+//
+// Every knob of the experiment harness is exposed as key=value pairs, so
+// new parameter studies need no recompilation:
+//
+//   ./tibfit_cli mode=binary pct_faulty=0.7 events=200 runs=10
+//   ./tibfit_cli mode=location level=2 pct_faulty=0.5 policy=baseline
+//   ./tibfit_cli mode=decay decay_final=0.75 epoch_events=50
+//
+// Prints one result row (or the per-epoch series for mode=decay). Keys not
+// given keep the paper's Table-1/Table-2 defaults. `list=true` prints all
+// recognized keys.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "exp/binary_experiment.h"
+#include "exp/location_experiment.h"
+#include "exp/sweep.h"
+#include "exp/trace.h"
+#include "util/config.h"
+
+namespace {
+
+using namespace tibfit;
+
+void print_keys() {
+    std::printf(
+        "common:   mode=binary|location|decay  seed=<u64>  runs=<n>  events=<n>\n"
+        "          policy=tibfit|baseline  pct_faulty=<0..1>  t_out=<s>\n"
+        "binary:   n_nodes  correct_ner  missed_alarm_rate  false_alarm_rate\n"
+        "          lambda  fault_rate  removal_ti  channel_drop\n"
+        "location: level=0|1|2  correct_sigma  faulty_sigma  faulty_drop_rate\n"
+        "          lambda  fault_rate  removal_ti  r_error  sensing_radius\n"
+        "          n_ch  rotation_period  burst  grid=true|false\n"
+        "          collusion_defense=true|false  multihop=true|false  radio_range\n"
+        "          mobile=true|false  speed_min  speed_max\n"
+        "decay:    decay_initial  decay_step  decay_final  epoch_events\n");
+}
+
+core::DecisionPolicy parse_policy(const std::string& s) {
+    return s == "baseline" ? core::DecisionPolicy::MajorityVote
+                           : core::DecisionPolicy::TrustIndex;
+}
+
+sensor::NodeClass parse_level(long level) {
+    switch (level) {
+        case 1: return sensor::NodeClass::Level1;
+        case 2: return sensor::NodeClass::Level2;
+        default: return sensor::NodeClass::Level0;
+    }
+}
+
+int run_binary(const util::Config& args) {
+    exp::BinaryConfig c;
+    c.n_nodes = static_cast<std::size_t>(args.get_int("n_nodes", 10));
+    c.pct_faulty = args.get_double("pct_faulty", 0.5);
+    c.correct_ner = args.get_double("correct_ner", 0.01);
+    c.missed_alarm_rate = args.get_double("missed_alarm_rate", 0.5);
+    c.false_alarm_rate = args.get_double("false_alarm_rate", 0.0);
+    c.events = static_cast<std::size_t>(args.get_int("events", 100));
+    c.policy = parse_policy(args.get_string("policy", "tibfit"));
+    c.lambda = args.get_double("lambda", 0.1);
+    c.fault_rate = args.get_double("fault_rate", -1.0);
+    c.removal_ti = args.get_double("removal_ti", 0.0);
+    c.t_out = args.get_double("t_out", 1.0);
+    c.channel_drop = args.get_double("channel_drop", 0.0);
+    c.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const auto runs = static_cast<std::size_t>(args.get_int("runs", 1));
+
+    if (runs > 1) {
+        std::printf("accuracy (mean of %zu runs): %.4f\n", runs,
+                    exp::mean_binary_accuracy(c, runs));
+        return 0;
+    }
+    const auto r = exp::run_binary_experiment(c);
+    std::printf("accuracy=%.4f detection=%.4f events=%zu detected=%zu "
+                "phantom_windows=%zu phantoms_declared=%zu ti_correct=%.3f ti_faulty=%.3f\n",
+                r.accuracy, r.detection_rate, r.events, r.detected, r.false_alarm_windows,
+                r.phantoms_declared, r.mean_ti_correct, r.mean_ti_faulty);
+    return 0;
+}
+
+exp::LocationConfig location_config(const util::Config& args) {
+    exp::LocationConfig c;
+    c.n_nodes = static_cast<std::size_t>(args.get_int("n_nodes", 100));
+    c.grid_layout = args.get_bool("grid", true);
+    c.sensing_radius = args.get_double("sensing_radius", 20.0);
+    c.r_error = args.get_double("r_error", 5.0);
+    c.t_out = args.get_double("t_out", 1.0);
+    c.pct_faulty = args.get_double("pct_faulty", 0.3);
+    c.fault_level = parse_level(args.get_int("level", 0));
+    c.correct_sigma = args.get_double("correct_sigma", 1.6);
+    c.faulty_sigma = args.get_double("faulty_sigma", 4.25);
+    c.faulty_drop_rate = args.get_double("faulty_drop_rate", 0.25);
+    c.policy = parse_policy(args.get_string("policy", "tibfit"));
+    c.lambda = args.get_double("lambda", 0.25);
+    c.fault_rate = args.get_double("fault_rate", 0.1);
+    c.removal_ti = args.get_double("removal_ti", 0.05);
+    c.collusion_defense = args.get_bool("collusion_defense", false);
+    c.collusion_jitter = args.get_double("collusion_jitter", 0.0);
+    c.trust_weighted_location = args.get_bool("weighted_location", false);
+    c.multihop = args.get_bool("multihop", false);
+    c.radio_range = args.get_double("radio_range", 30.0);
+    c.mobile = args.get_bool("mobile", false);
+    c.speed_min = args.get_double("speed_min", 0.5);
+    c.speed_max = args.get_double("speed_max", 1.5);
+    c.n_ch = static_cast<std::size_t>(args.get_int("n_ch", 5));
+    c.rotation_period = static_cast<std::size_t>(args.get_int("rotation_period", 20));
+    c.events = static_cast<std::size_t>(args.get_int("events", 200));
+    c.burst = static_cast<std::size_t>(args.get_int("burst", 1));
+    c.channel_drop = args.get_double("channel_drop", 0.01);
+    c.channel_airtime = args.get_double("channel_airtime", 0.0);
+    c.tx_jitter = args.get_double("tx_jitter", 0.0);
+    c.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    c.epoch_events = static_cast<std::size_t>(args.get_int("epoch_events", 50));
+    return c;
+}
+
+int run_location(const util::Config& args) {
+    exp::LocationConfig c = location_config(args);
+    const auto runs = static_cast<std::size_t>(args.get_int("runs", 1));
+    if (runs > 1) {
+        std::printf("accuracy (mean of %zu runs): %.4f\n", runs,
+                    exp::mean_location_accuracy(c, runs));
+        return 0;
+    }
+    const std::string trace_path = args.get_string("trace", "");
+    c.keep_trace = !trace_path.empty();
+    const auto r = run_location_experiment(c);
+    std::printf("accuracy=%.4f events=%zu detected=%zu false_positives=%zu isolated=%zu "
+                "ti_correct=%.3f ti_faulty=%.3f\n",
+                r.accuracy, r.events, r.detected, r.false_positives, r.isolated,
+                r.mean_ti_correct, r.mean_ti_faulty);
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot open trace file '%s'\n", trace_path.c_str());
+            return 1;
+        }
+        exp::write_trace_csv(out, r.trace_events, r.trace_decisions);
+        std::printf("trace written to %s (%zu events, %zu decisions)\n", trace_path.c_str(),
+                    r.trace_events.size(), r.trace_decisions.size());
+    }
+    return 0;
+}
+
+int run_decay(const util::Config& args) {
+    exp::LocationConfig c = location_config(args);
+    c.decay = true;
+    c.decay_initial = args.get_double("decay_initial", 0.05);
+    c.decay_step = args.get_double("decay_step", 0.05);
+    c.decay_final = args.get_double("decay_final", 0.75);
+    c.decay_epoch_events = c.epoch_events;
+    const auto r = run_location_experiment(c);
+    std::printf("epoch  %%compromised  accuracy\n");
+    for (std::size_t e = 0; e < r.epoch_accuracy.size(); ++e) {
+        std::printf("%4zu   %6.1f%%      %.4f\n", e + 1,
+                    100.0 * (c.decay_initial + c.decay_step * static_cast<double>(e)),
+                    r.epoch_accuracy[e]);
+    }
+    std::printf("overall accuracy=%.4f isolated=%zu\n", r.accuracy, r.isolated);
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    util::Config args;
+    args.parse_args(argc, argv);
+    if (args.get_bool("list", false)) {
+        print_keys();
+        return 0;
+    }
+    const std::string mode = args.get_string("mode", "location");
+    if (mode == "binary") return run_binary(args);
+    if (mode == "decay") return run_decay(args);
+    if (mode == "location") return run_location(args);
+    std::fprintf(stderr, "unknown mode '%s' (binary|location|decay)\n", mode.c_str());
+    print_keys();
+    return 2;
+}

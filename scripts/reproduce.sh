@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerates every artifact of the reproduction from a clean tree:
+#   1. configure + build
+#   2. full test suite
+#   3. every paper table/figure + extension bench, both pretty and CSV
+# Outputs land in results/ (one .txt and one .csv per bench) plus the
+# combined logs the top-level instructions ask for.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=build
+RESULTS=results
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+ctest --test-dir "$BUILD" --output-on-failure 2>&1 | tee test_output.txt
+
+mkdir -p "$RESULTS"
+: > bench_output.txt
+for b in "$BUILD"/bench/*; do
+  name=$(basename "$b")
+  echo "== running $name"
+  "$b" | tee "$RESULTS/$name.txt" >> bench_output.txt
+  "$b" --csv > "$RESULTS/$name.csv" || true
+done
+
+echo
+echo "Done. Per-bench outputs in $RESULTS/, combined logs in"
+echo "test_output.txt and bench_output.txt."

@@ -1,0 +1,30 @@
+#include "analysis/baseline_model.h"
+
+#include <stdexcept>
+
+#include "analysis/binomial.h"
+
+namespace tibfit::analysis {
+
+double baseline_success(std::uint64_t n, std::uint64_t m, double p, double q) {
+    if (m > n) throw std::invalid_argument("baseline_success: m > n");
+    const std::uint64_t majority = n / 2 + 1;
+
+    double success = 0.0;
+    for (std::uint64_t k = 0; k <= n - m; ++k) {
+        const double px = binomial_pmf(n - m, k, p);
+        if (px == 0.0) continue;
+        const std::uint64_t need = k >= majority ? 0 : majority - k;
+        success += px * binomial_ccdf(m, need, q);
+    }
+    return success > 1.0 ? 1.0 : success;
+}
+
+std::vector<double> baseline_series(std::uint64_t n, double p, double q) {
+    std::vector<double> out;
+    out.reserve(n + 1);
+    for (std::uint64_t m = 0; m <= n; ++m) out.push_back(baseline_success(n, m, p, q));
+    return out;
+}
+
+}  // namespace tibfit::analysis

@@ -1,0 +1,24 @@
+// Section 5, equations (1)-(3): probability that stateless majority voting
+// identifies a binary event.
+//
+// N event neighbours, m of them faulty. A correct node reports correctly
+// with probability p, a faulty node with probability q. X ~ Bin(N-m, p) and
+// Y ~ Bin(m, q) are the correct reports from each side; the event is
+// identified iff Z = X + Y reaches a strict majority, floor(N/2) + 1.
+// Equations (2) and (3) are the m <= N-m and m > N-m arrangements of the
+// same double sum; we evaluate the sum directly, which is equal to both.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tibfit::analysis {
+
+/// P(success) of the baseline voter. Maps to Figure 10 with N = 10,
+/// q = 0.5 and p in {0.99, 0.95, 0.90, 0.85}.
+double baseline_success(std::uint64_t n, std::uint64_t m, double p, double q);
+
+/// One Figure-10 series: P(success) for m = 0..n at fixed p, q.
+std::vector<double> baseline_series(std::uint64_t n, double p, double q);
+
+}  // namespace tibfit::analysis

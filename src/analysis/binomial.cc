@@ -1,0 +1,31 @@
+#include "analysis/binomial.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tibfit::analysis {
+
+double log_choose(std::uint64_t n, std::uint64_t k) {
+    if (k > n) throw std::invalid_argument("log_choose: k > n");
+    return std::lgamma(static_cast<double>(n) + 1.0) -
+           std::lgamma(static_cast<double>(k) + 1.0) -
+           std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p) {
+    if (k > n) return 0.0;
+    if (p < 0.0 || p > 1.0) throw std::invalid_argument("binomial_pmf: p outside [0,1]");
+    if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+    if (p == 1.0) return k == n ? 1.0 : 0.0;
+    const double lk = static_cast<double>(k);
+    const double ln = static_cast<double>(n);
+    return std::exp(log_choose(n, k) + lk * std::log(p) + (ln - lk) * std::log1p(-p));
+}
+
+double binomial_ccdf(std::uint64_t n, std::uint64_t k, double p) {
+    double sum = 0.0;
+    for (std::uint64_t i = k; i <= n; ++i) sum += binomial_pmf(n, i, p);
+    return sum > 1.0 ? 1.0 : sum;
+}
+
+}  // namespace tibfit::analysis

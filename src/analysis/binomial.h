@@ -1,0 +1,18 @@
+// Exact binomial probabilities in log space — building blocks for the
+// Section 5 closed-form baseline analysis.
+#pragma once
+
+#include <cstdint>
+
+namespace tibfit::analysis {
+
+/// log(n choose k); 0 <= k <= n required.
+double log_choose(std::uint64_t n, std::uint64_t k);
+
+/// P(Binomial(n, p) == k). Exact via lgamma; handles p = 0 and p = 1.
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p);
+
+/// P(Binomial(n, p) >= k).
+double binomial_ccdf(std::uint64_t n, std::uint64_t k, double p);
+
+}  // namespace tibfit::analysis

@@ -1,0 +1,88 @@
+#include "analysis/location_model.h"
+
+#include <stdexcept>
+
+#include "analysis/binomial.h"
+#include "analysis/rayleigh.h"
+
+namespace tibfit::analysis {
+
+double support_probability_correct(const LocationModelParams& p) {
+    return (1.0 - p.drop_correct) * (1.0 - rayleigh_exceed(p.r_error, p.sigma_correct));
+}
+
+double support_probability_faulty(const LocationModelParams& p) {
+    return (1.0 - p.drop_faulty) * (1.0 - rayleigh_exceed(p.r_error, p.sigma_faulty));
+}
+
+double baseline_location_detection(const LocationModelParams& p) {
+    if (p.faulty > p.neighbours) {
+        throw std::invalid_argument("baseline_location_detection: faulty > neighbours");
+    }
+    const std::uint64_t k = p.neighbours;
+    const std::uint64_t m = p.faulty;
+    const double pc = support_probability_correct(p);
+    const double pf = support_probability_faulty(p);
+
+    // Supporters S = X + Y with X ~ Bin(k - m, pc), Y ~ Bin(m, pf);
+    // detected iff S >= k - S, i.e. 2S >= k.
+    const std::uint64_t need = (k + 1) / 2;
+    double detected = 0.0;
+    for (std::uint64_t x = 0; x <= k - m; ++x) {
+        const double px = binomial_pmf(k - m, x, pc);
+        if (px == 0.0) continue;
+        const std::uint64_t still = x >= need ? 0 : need - x;
+        detected += px * binomial_ccdf(m, still, pf);
+    }
+    return detected > 1.0 ? 1.0 : detected;
+}
+
+double tibfit_asymptotic_detection(const LocationModelParams& p) {
+    if (p.faulty > p.neighbours) {
+        throw std::invalid_argument("tibfit_asymptotic_detection: faulty > neighbours");
+    }
+    const std::uint64_t correct = p.neighbours - p.faulty;
+    if (correct == 0) return 0.0;
+    const double pc = support_probability_correct(p);
+    // Detected iff X >= correct - X, i.e. 2X >= correct.
+    return binomial_ccdf(correct, (correct + 1) / 2, pc);
+}
+
+double expected_field_detection(const LocationModelParams& report_params,
+                                const FieldGeometry& g, double pct_faulty,
+                                bool asymptotic) {
+    if (!(g.sample_step > 0.0) || g.grid_side == 0) {
+        throw std::invalid_argument("expected_field_detection: bad geometry");
+    }
+    const double spacing = g.field / static_cast<double>(g.grid_side);
+    const double r2 = g.sensing_radius * g.sensing_radius;
+
+    double sum = 0.0;
+    std::size_t samples = 0;
+    for (double x = g.sample_step / 2.0; x < g.field; x += g.sample_step) {
+        for (double y = g.sample_step / 2.0; y < g.field; y += g.sample_step) {
+            // Neighbour count at this event position.
+            std::uint64_t k = 0;
+            for (std::size_t i = 0; i < g.grid_side * g.grid_side; ++i) {
+                const double nx = spacing * (0.5 + static_cast<double>(i % g.grid_side));
+                const double ny = spacing * (0.5 + static_cast<double>(i / g.grid_side));
+                const double dx = nx - x, dy = ny - y;
+                if (dx * dx + dy * dy <= r2) ++k;
+            }
+            double det = 0.0;
+            if (k > 0) {
+                LocationModelParams p = report_params;
+                p.neighbours = k;
+                p.faulty = static_cast<std::uint64_t>(pct_faulty * static_cast<double>(k) + 0.5);
+                if (p.faulty > k) p.faulty = k;
+                det = asymptotic ? tibfit_asymptotic_detection(p)
+                                 : baseline_location_detection(p);
+            }
+            sum += det;
+            ++samples;
+        }
+    }
+    return samples ? sum / static_cast<double>(samples) : 0.0;
+}
+
+}  // namespace tibfit::analysis

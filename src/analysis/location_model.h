@@ -1,0 +1,70 @@
+// Closed-form detection probability for the location model — extending the
+// paper's Section-5 analysis (which covers only the binary model) to
+// Experiment 2's setting, as called for by the future-work item "develop a
+// more extensive theoretical model to ... predict system reliability".
+//
+// An event has k event neighbours, m of them faulty. A node's report
+// "supports" the event if it is transmitted (not dropped by behaviour or
+// channel) and lands within r_error of the true location (its radial error
+// is Rayleigh(sigma), so P(within) = 1 - exp(-r_error^2 / 2 sigma^2)).
+// Supporting reports coalesce into the true event cluster; everything else
+// counts on the silent side of that cluster's vote.
+//
+//   baseline:        detected iff  supporters >= k/2              (headcount)
+//   TIBFIT (t -> oo): faulty trust ~ 0, so the vote reduces to the
+//                    correct nodes alone: detected iff the correct
+//                    supporters outnumber the correct silents.
+//
+// Both reduce to binomial-convolution sums evaluated exactly. The baseline
+// curve should track the simulated Figure-4 baseline; the TIBFIT limit
+// upper-bounds the simulated TIBFIT curve (which pays for its warm-up).
+#pragma once
+
+#include <cstdint>
+
+namespace tibfit::analysis {
+
+/// Experiment-2 per-report parameters.
+struct LocationModelParams {
+    std::uint64_t neighbours = 12;  ///< k: nodes within r_s of the event
+    std::uint64_t faulty = 0;       ///< m of them compromised
+    double sigma_correct = 1.6;
+    double sigma_faulty = 4.25;
+    double drop_correct = 0.01;  ///< channel loss for a correct node's report
+    double drop_faulty = 0.2575; ///< behavioural 25% + channel loss
+    double r_error = 5.0;
+};
+
+/// P(a correct node's report supports the event).
+double support_probability_correct(const LocationModelParams& p);
+
+/// P(a faulty node's report supports the event).
+double support_probability_faulty(const LocationModelParams& p);
+
+/// Stateless majority voter: P(supporters >= non-supporters among the k
+/// event neighbours). Ties detect, matching the implementation.
+double baseline_location_detection(const LocationModelParams& p);
+
+/// TIBFIT's steady-state limit: faulty trust has decayed to ~0, so only
+/// correct nodes carry weight. P(correct supporters >= correct silents).
+double tibfit_asymptotic_detection(const LocationModelParams& p);
+
+/// The experiment's field geometry, for averaging over event positions:
+/// events near the field edge have far fewer than the interior's ~12
+/// neighbours, which drags the whole-field detection probability down.
+struct FieldGeometry {
+    double field = 100.0;          ///< square side
+    std::size_t grid_side = 10;    ///< lattice of grid_side^2 nodes
+    double sensing_radius = 20.0;  ///< r_s
+    double sample_step = 2.0;      ///< integration resolution
+};
+
+/// Whole-field expected detection probability: averages the fixed-k
+/// closed form over uniformly placed events, with k(x) counted from the
+/// lattice and m = round(pct * k). `asymptotic` selects the TIBFIT limit
+/// instead of the baseline voter.
+double expected_field_detection(const LocationModelParams& report_params,
+                                const FieldGeometry& geometry, double pct_faulty,
+                                bool asymptotic);
+
+}  // namespace tibfit::analysis

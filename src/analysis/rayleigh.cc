@@ -1,0 +1,25 @@
+#include "analysis/rayleigh.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tibfit::analysis {
+
+double rayleigh_exceed(double r, double sigma) {
+    if (!(sigma > 0.0)) throw std::invalid_argument("rayleigh_exceed: sigma <= 0");
+    if (r <= 0.0) return 1.0;
+    return std::exp(-(r * r) / (2.0 * sigma * sigma));
+}
+
+double rayleigh_quantile(double q, double sigma) {
+    if (!(sigma > 0.0)) throw std::invalid_argument("rayleigh_quantile: sigma <= 0");
+    if (q < 0.0 || q >= 1.0) throw std::invalid_argument("rayleigh_quantile: q outside [0,1)");
+    return sigma * std::sqrt(-2.0 * std::log1p(-q));
+}
+
+double rayleigh_mean(double sigma) {
+    if (!(sigma > 0.0)) throw std::invalid_argument("rayleigh_mean: sigma <= 0");
+    return sigma * std::sqrt(1.5707963267948966);
+}
+
+}  // namespace tibfit::analysis

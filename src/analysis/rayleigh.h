@@ -1,0 +1,20 @@
+// Table 2's "error percentage": a node reports an event location with
+// independent N(0, sigma) error per axis, so the radial error is Rayleigh
+// distributed and P(error > r) = exp(-r^2 / (2 sigma^2)). The paper uses
+// this to translate report standard deviations (1.6 / 2.0 for correct
+// nodes, 4.25 / 6.0 for faulty) into the probability that a report lands
+// more than r_error = 5 units from the true event.
+#pragma once
+
+namespace tibfit::analysis {
+
+/// P(radial error > r) for 2-D Gaussian noise with per-axis sigma.
+double rayleigh_exceed(double r, double sigma);
+
+/// Radial error quantile: r such that P(error <= r) = q.
+double rayleigh_quantile(double q, double sigma);
+
+/// Mean radial error: sigma * sqrt(pi / 2).
+double rayleigh_mean(double sigma);
+
+}  // namespace tibfit::analysis

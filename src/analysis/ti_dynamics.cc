@@ -1,0 +1,55 @@
+#include "analysis/ti_dynamics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tibfit::analysis {
+
+double corruption_margin(double k, double lambda, std::uint64_t n) {
+    const double x = std::exp(-k * lambda);
+    return std::pow(x, static_cast<double>(n - 1)) - 2.0 * x + 1.0;
+}
+
+double min_tolerable_spacing(double lambda, std::uint64_t n) {
+    if (!(lambda > 0.0)) throw std::invalid_argument("min_tolerable_spacing: lambda <= 0");
+    if (n < 3) throw std::invalid_argument("min_tolerable_spacing: need n >= 3");
+
+    // Solve g(x) = x^{n-1} - 2x + 1 = 0 on (0, 1). g(0) = 1 > 0,
+    // g(1) = 0 (trivial root), and g is negative just below 1 for n >= 3,
+    // so the non-trivial root lies in (0, 1 - eps) with a sign change.
+    const double e = static_cast<double>(n - 1);
+    auto g = [e](double x) { return std::pow(x, e) - 2.0 * x + 1.0; };
+
+    double lo = 0.0, hi = 1.0 - 1e-9;
+    if (g(hi) > 0.0) {
+        // Degenerate only if n < 3 (excluded above); guard anyway.
+        throw std::runtime_error("min_tolerable_spacing: no sign change");
+    }
+    for (int iter = 0; iter < 200; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (g(mid) > 0.0) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    const double x = 0.5 * (lo + hi);
+    return -std::log(x) / lambda;
+}
+
+double max_rounds_for_last_failure(double lambda) {
+    if (!(lambda > 0.0)) {
+        throw std::invalid_argument("max_rounds_for_last_failure: lambda <= 0");
+    }
+    return std::log(3.0) / lambda;
+}
+
+std::vector<double> margin_series(const std::vector<double>& ks, double lambda,
+                                  std::uint64_t n) {
+    std::vector<double> out;
+    out.reserve(ks.size());
+    for (double k : ks) out.push_back(corruption_margin(k, lambda, n));
+    return out;
+}
+
+}  // namespace tibfit::analysis

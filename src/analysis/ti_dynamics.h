@@ -1,0 +1,38 @@
+// Section 5, second part: how fast may the adversary corrupt nodes before
+// TIBFIT's cumulative trust flips?
+//
+// With N nodes, one newly corrupted every k events, and the idealization
+// that correct nodes are always correct and faulty nodes always wrong, the
+// system stays 100% accurate while CTI_correct - 1 > CTI_faulty + 1, which
+// at the 3-correct-nodes boundary reduces to the root of
+//
+//     f(k) = e^{-k*lambda*(N-1)} - 2 e^{-k*lambda} + 1 = 0        (Fig. 11)
+//
+// in k > 0 (the k = 0 root is the trivial x = 1 solution). Substituting
+// x = e^{-k*lambda} turns it into x^{N-1} - 2x + 1 = 0 on (0, 1), which we
+// bisect. The paper also derives the last tolerable step,
+// k_max = ln(3) / lambda.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tibfit::analysis {
+
+/// f(k) of Figure 11.
+double corruption_margin(double k, double lambda, std::uint64_t n);
+
+/// The positive root of f: the minimum spacing (in events) between
+/// successive corruptions that TIBFIT tolerates with 100% accuracy under
+/// the Section-5 idealization. Requires n >= 3 and lambda > 0.
+double min_tolerable_spacing(double lambda, std::uint64_t n);
+
+/// k_max = ln(3) / lambda — the spacing needed to absorb one more failure
+/// once only three correct nodes remain.
+double max_rounds_for_last_failure(double lambda);
+
+/// One Figure-11 series: f(k) sampled at the given k values.
+std::vector<double> margin_series(const std::vector<double>& ks, double lambda,
+                                  std::uint64_t n);
+
+}  // namespace tibfit::analysis

@@ -1,0 +1,107 @@
+#include "analysis/trust_trajectory.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tibfit::analysis {
+
+namespace {
+
+double clamp0(double v) { return v < 0.0 ? 0.0 : v; }
+
+}  // namespace
+
+std::vector<TrajectoryPoint> mean_field_trajectory(const TrajectoryParams& p,
+                                                   std::size_t events) {
+    if (p.m > p.n) throw std::invalid_argument("mean_field_trajectory: m > n");
+    const auto correct = static_cast<double>(p.n - p.m);
+    const auto faulty = static_cast<double>(p.m);
+
+    std::vector<TrajectoryPoint> out;
+    out.reserve(events);
+    double vc = 0.0, vf = 0.0;
+    for (std::size_t e = 0; e < events; ++e) {
+        const double tic = std::exp(-p.lambda * vc);
+        const double tif = std::exp(-p.lambda * vf);
+
+        // Expected CTI of each side: class population x report probability
+        // x per-node trust.
+        const double r_side = correct * (1.0 - p.ner) * tic + faulty * (1.0 - p.missed_rate) * tif;
+        const double nr_side = correct * p.ner * tic + faulty * p.missed_rate * tif;
+        const bool declared = r_side >= nr_side;
+
+        // Expected judgement per class member: reporters are judged by the
+        // declared outcome, silents by its negation.
+        const double reward = -p.fault_rate;
+        const double penalty = 1.0 - p.fault_rate;
+        const double report_delta = declared ? reward : penalty;
+        const double silent_delta = declared ? penalty : reward;
+
+        vc = clamp0(vc + (1.0 - p.ner) * report_delta + p.ner * silent_delta);
+        vf = clamp0(vf + (1.0 - p.missed_rate) * report_delta + p.missed_rate * silent_delta);
+
+        // One quiet window per event cycle: an uncoordinated false alarm is
+        // outvoted by the silent rest of the cluster and penalized, while
+        // the silent majority is judged correct (a no-op at the floor).
+        if (p.false_alarm_rate > 0.0) {
+            vf = clamp0(vf + p.false_alarm_rate * penalty -
+                        (1.0 - p.false_alarm_rate) * p.fault_rate);
+            vc = clamp0(vc - p.fault_rate);
+        }
+
+        TrajectoryPoint pt;
+        pt.v_correct = vc;
+        pt.v_faulty = vf;
+        pt.ti_correct = std::exp(-p.lambda * vc);
+        pt.ti_faulty = std::exp(-p.lambda * vf);
+        pt.event_detected = declared;
+        pt.cti_margin = r_side - nr_side;
+        out.push_back(pt);
+    }
+    return out;
+}
+
+double predicted_detection_rate(const TrajectoryParams& params, std::size_t events) {
+    const auto traj = mean_field_trajectory(params, events);
+    if (traj.empty()) return 0.0;
+    std::size_t detected = 0;
+    for (const auto& pt : traj) detected += pt.event_detected ? 1 : 0;
+    return static_cast<double>(detected) / static_cast<double>(traj.size());
+}
+
+std::size_t ideal_decay_survival(std::size_t n, std::size_t k, double lambda,
+                                 std::size_t max_events) {
+    if (n < 3) throw std::invalid_argument("ideal_decay_survival: n < 3");
+    if (k == 0) throw std::invalid_argument("ideal_decay_survival: k == 0");
+
+    // Per-node v; node i (i >= 1) becomes faulty at event i*k (node 0 is
+    // faulty from the start, matching Section 5's initial condition).
+    std::vector<double> v(n, 0.0);
+    auto faulty_at = [&](std::size_t node, std::size_t event) {
+        return event >= node * k;
+    };
+
+    for (std::size_t e = 0; e < max_events; ++e) {
+        // Ideal behaviour: faulty nodes always report wrongly (they stay
+        // silent on a real event), correct nodes always report.
+        double cti_r = 0.0, cti_nr = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double ti = std::exp(-lambda * v[i]);
+            if (faulty_at(i, e)) {
+                cti_nr += ti;
+            } else {
+                cti_r += ti;
+            }
+        }
+        const bool declared = cti_r >= cti_nr;
+        if (!declared) return e;  // first wrong decision ends the streak
+        // Judgements: reporters rewarded (v floors at 0 and f_r -> 0 in the
+        // Section-5 idealization), silents penalized by 1.
+        for (std::size_t i = 0; i < n; ++i) {
+            if (faulty_at(i, e)) v[i] += 1.0;
+        }
+    }
+    return max_events;
+}
+
+}  // namespace tibfit::analysis

@@ -1,0 +1,79 @@
+// Mean-field trust-trajectory model — the "more extensive theoretical
+// model to demonstrate correctness and predict system reliability" the
+// paper lists as future work (Section 7).
+//
+// The Section-5 analysis idealizes nodes as always-correct / always-wrong.
+// Here we keep the real error rates and track the *expected* trust
+// accumulator of a correct and a faulty node through the binary-model
+// event sequence:
+//
+//   per event, a correct node reports w.p. (1 - NER), a faulty node w.p.
+//   (1 - missed_rate); the expected CTI of the reporting and silent sides
+//   follows, the mean-field decision is declared iff E[CTI_R] >= E[CTI_NR],
+//   and each class's expected v moves by the expected judgement:
+//       reporter, event declared  : dv = -f_r        (floored at 0)
+//       silent,   event declared  : dv = +(1 - f_r)
+//       (signs swap when the event is rejected)
+//
+// The model predicts (a) whether detection holds at a given faulty
+// fraction, (b) how many events it takes trust to separate, and (c) the
+// trajectory's fixed points — all checkable against the simulator.
+//
+// A second routine reproduces the Section-5 decay scenario exactly (one
+// node corrupted every k events, ideal behaviour) and reports how long
+// 100% accuracy survives, which must agree with the closed-form root in
+// ti_dynamics.h.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tibfit::analysis {
+
+/// Binary-model population parameters.
+struct TrajectoryParams {
+    std::size_t n = 10;         ///< event neighbours
+    std::size_t m = 5;          ///< of which faulty
+    double ner = 0.01;          ///< correct nodes' miss probability
+    double missed_rate = 0.5;   ///< faulty nodes' miss probability
+    double lambda = 0.1;        ///< trust decay constant
+    double fault_rate = 0.01;   ///< f_r granted by the CH
+    /// Faulty nodes' per-window false-alarm probability. The model assumes
+    /// uncoordinated alarms (each typically adjudicated alone against the
+    /// rest of the cluster and rejected), so each quiet cycle adds an
+    /// expected fa*(1-f_r) to a faulty node's accumulator — the mechanism
+    /// behind Figure 3's "excessive false alarms lower faulty nodes' TIs
+    /// and therefore increase system reliability".
+    double false_alarm_rate = 0.0;
+};
+
+/// One step of the expected-trust trajectory.
+struct TrajectoryPoint {
+    double v_correct = 0.0;
+    double v_faulty = 0.0;
+    double ti_correct = 1.0;
+    double ti_faulty = 1.0;
+    bool event_detected = true;  ///< mean-field decision this event
+    double cti_margin = 0.0;     ///< E[CTI_R] - E[CTI_NR]
+};
+
+/// Runs the mean-field recurrence for `events` steps. Element e is the
+/// state *after* event e's judgement.
+std::vector<TrajectoryPoint> mean_field_trajectory(const TrajectoryParams& params,
+                                                   std::size_t events);
+
+/// Fraction of the trajectory's events detected — the model's accuracy
+/// prediction for Figure 2's missed-alarms-only setting.
+double predicted_detection_rate(const TrajectoryParams& params, std::size_t events);
+
+/// The Section-5 decay idealization, executed exactly: N nodes, initially
+/// one faulty; every k events one more correct node is corrupted; correct
+/// nodes are always correct, faulty nodes always wrong. Returns the number
+/// of events for which every decision is correct (the system's 100%-
+/// accuracy survival time), running at most `max_events`. Per Section 5
+/// the survival extends to N-3 corruptions iff k exceeds the root computed
+/// by min_tolerable_spacing().
+std::size_t ideal_decay_survival(std::size_t n, std::size_t k, double lambda,
+                                 std::size_t max_events);
+
+}  // namespace tibfit::analysis

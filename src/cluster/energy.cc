@@ -1,0 +1,21 @@
+#include "cluster/energy.h"
+
+namespace tibfit::cluster {
+
+double tx_cost(const EnergyParams& p, std::size_t bits, double d) {
+    const double k = static_cast<double>(bits);
+    return p.e_elec * k + p.eps_amp * k * d * d;
+}
+
+double rx_cost(const EnergyParams& p, std::size_t bits) {
+    return p.e_elec * static_cast<double>(bits);
+}
+
+bool Battery::consume(double joules) {
+    if (depleted()) return false;
+    level_ -= joules;
+    if (level_ < 0.0) level_ = 0.0;
+    return true;
+}
+
+}  // namespace tibfit::cluster

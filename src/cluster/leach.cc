@@ -1,0 +1,99 @@
+#include "cluster/leach.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tibfit::cluster {
+
+LeachElection::LeachElection(LeachParams params, util::Rng rng)
+    : params_(params), rng_(rng) {
+    if (!(params.ch_fraction > 0.0) || params.ch_fraction > 1.0) {
+        throw std::invalid_argument("LeachElection: ch_fraction must be in (0, 1]");
+    }
+}
+
+std::uint32_t LeachElection::epoch_length() const {
+    return static_cast<std::uint32_t>(std::ceil(1.0 / params_.ch_fraction));
+}
+
+bool LeachElection::served_this_epoch(std::uint32_t round, sim::ProcessId id) const {
+    auto it = last_served_round_.find(id);
+    if (it == last_served_round_.end()) return false;
+    const std::uint32_t epoch = epoch_length();
+    return it->second / epoch == round / epoch;
+}
+
+double LeachElection::threshold(std::uint32_t round, const Candidate& c) const {
+    if (c.ti < params_.ti_threshold) return 0.0;       // the paper's TI gate
+    if (c.energy_fraction <= 0.0) return 0.0;          // dead nodes can't lead
+    if (served_this_epoch(round, c.id)) return 0.0;    // classic LEACH G-set
+    const double p = params_.ch_fraction;
+    const double denom = 1.0 - p * static_cast<double>(round % epoch_length());
+    const double t = denom > 0.0 ? p / denom : 1.0;
+    return std::min(1.0, t * c.energy_fraction);
+}
+
+ElectionResult LeachElection::run_round(std::uint32_t round,
+                                        std::span<const Candidate> candidates) {
+    ElectionResult result;
+    if (candidates.empty()) return result;
+
+    for (const auto& c : candidates) {
+        if (rng_.chance(threshold(round, c))) result.heads.push_back(c.id);
+    }
+
+    if (result.heads.empty()) {
+        // Draft fallback: most energetic TI-eligible candidate, else (base
+        // station re-initiation) the highest-TI candidate.
+        const Candidate* best = nullptr;
+        for (const auto& c : candidates) {
+            if (c.ti < params_.ti_threshold || c.energy_fraction <= 0.0) continue;
+            if (!best || c.energy_fraction > best->energy_fraction) best = &c;
+        }
+        if (!best) {
+            for (const auto& c : candidates) {
+                if (!best || c.ti > best->ti) best = &c;
+            }
+        }
+        result.heads.push_back(best->id);
+        result.drafted = true;
+    }
+
+    for (sim::ProcessId h : result.heads) {
+        last_served_round_[h] = round;
+        ++served_count_[h];
+    }
+
+    // Affiliation by strongest advertisement signal (free-space loss ->
+    // nearest head).
+    std::vector<const Candidate*> head_info;
+    for (const auto& c : candidates) {
+        if (std::find(result.heads.begin(), result.heads.end(), c.id) != result.heads.end()) {
+            head_info.push_back(&c);
+        }
+    }
+    for (const auto& c : candidates) {
+        if (std::find(result.heads.begin(), result.heads.end(), c.id) != result.heads.end()) {
+            continue;  // heads affiliate with themselves implicitly
+        }
+        const Candidate* nearest = head_info.front();
+        double best_d2 = util::distance2(c.position, nearest->position);
+        for (const Candidate* h : head_info) {
+            const double d2 = util::distance2(c.position, h->position);
+            if (d2 < best_d2) {
+                best_d2 = d2;
+                nearest = h;
+            }
+        }
+        result.affiliation[c.id] = nearest->id;
+    }
+    return result;
+}
+
+std::uint32_t LeachElection::times_served(sim::ProcessId id) const {
+    auto it = served_count_.find(id);
+    return it == served_count_.end() ? 0 : it->second;
+}
+
+}  // namespace tibfit::cluster

@@ -1,0 +1,81 @@
+// LEACH-style rotating cluster-head election (Section 2), with the paper's
+// extra admission rule: a node's trust index must clear a threshold before
+// it may serve as CH.
+//
+// Classic LEACH: in round r, a node that has not served within the current
+// epoch (1/P rounds) volunteers with threshold
+//     T(n) = P / (1 - P * (r mod 1/P))
+// We weight T(n) by the node's residual-energy fraction (the paper: CH
+// election "is based on energy-related parameters") and gate eligibility on
+// TI >= ti_threshold (the paper's addition). If nobody volunteers, the
+// most energetic eligible node is drafted so the cluster always has a head;
+// if no node clears the TI bar, the base station's re-initiation is modeled
+// by drafting the highest-TI node.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/process.h"
+#include "util/rng.h"
+#include "util/vec2.h"
+
+namespace tibfit::cluster {
+
+/// Election tunables.
+struct LeachParams {
+    double ch_fraction = 0.1;   ///< desired fraction of nodes serving as CH (P)
+    double ti_threshold = 0.5;  ///< minimum TI to be admitted as CH
+};
+
+/// A candidate's view presented to the election.
+struct Candidate {
+    sim::ProcessId id = sim::kNoProcess;
+    util::Vec2 position;
+    double energy_fraction = 1.0;  ///< residual / initial energy, in [0,1]
+    double ti = 1.0;               ///< trust index from the base station archive
+};
+
+/// Result of one election round.
+struct ElectionResult {
+    std::vector<sim::ProcessId> heads;
+    /// node -> head it affiliated with (strongest signal = nearest head).
+    std::unordered_map<sim::ProcessId, sim::ProcessId> affiliation;
+    /// True if the TI gate excluded every volunteer and a fallback draft
+    /// was used (the base station had to re-initiate election).
+    bool drafted = false;
+};
+
+/// Stateful election driver: remembers who served in the current epoch.
+class LeachElection {
+  public:
+    LeachElection(LeachParams params, util::Rng rng);
+
+    const LeachParams& params() const { return params_; }
+
+    /// Rounds per epoch: ceil(1 / P).
+    std::uint32_t epoch_length() const;
+
+    /// The classic LEACH volunteering threshold for a node, already scaled
+    /// by its energy fraction; 0 if the node served this epoch or fails the
+    /// TI gate. Exposed for tests.
+    double threshold(std::uint32_t round, const Candidate& c) const;
+
+    /// Runs one election round over the candidates.
+    ElectionResult run_round(std::uint32_t round, std::span<const Candidate> candidates);
+
+    /// Number of times a node has served (for inspection).
+    std::uint32_t times_served(sim::ProcessId id) const;
+
+  private:
+    bool served_this_epoch(std::uint32_t round, sim::ProcessId id) const;
+
+    LeachParams params_;
+    util::Rng rng_;
+    std::unordered_map<sim::ProcessId, std::uint32_t> last_served_round_;
+    std::unordered_map<sim::ProcessId, std::uint32_t> served_count_;
+};
+
+}  // namespace tibfit::cluster

@@ -1,0 +1,20 @@
+#include "core/baseline_voter.h"
+
+namespace tibfit::core {
+
+BinaryDecision majority_vote_binary(std::span<const NodeId> event_neighbours,
+                                    std::span<const NodeId> reporters) {
+    TrustManager unused;  // never consulted under MajorityVote
+    BinaryArbiter arbiter(unused, DecisionPolicy::MajorityVote);
+    return arbiter.decide(event_neighbours, reporters, /*apply_trust_updates=*/false);
+}
+
+std::vector<LocationDecision> majority_vote_location(
+    std::span<const EventReport> reports, std::span<const util::Vec2> node_positions,
+    double sensing_radius, double r_error) {
+    TrustManager unused;
+    LocationArbiter arbiter(unused, DecisionPolicy::MajorityVote, sensing_radius, r_error);
+    return arbiter.decide(reports, node_positions, /*apply_trust_updates=*/false);
+}
+
+}  // namespace tibfit::core

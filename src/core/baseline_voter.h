@@ -1,0 +1,28 @@
+// The paper's comparator: stateless majority voting ("baseline system",
+// Section 4). These are thin conveniences over the arbiters with every
+// node's weight pinned at 1 and no trust state; they exist so callers that
+// only want the baseline never have to construct a TrustManager.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/binary_arbiter.h"
+#include "core/location_arbiter.h"
+
+namespace tibfit::core {
+
+/// Simple-majority binary vote: the event is declared iff at least as many
+/// event neighbours reported as stayed silent (ties declare, matching the
+/// TIBFIT tie rule so the two policies differ only in weighting).
+BinaryDecision majority_vote_binary(std::span<const NodeId> event_neighbours,
+                                    std::span<const NodeId> reporters);
+
+/// Location-model majority vote: reports are clustered exactly as in
+/// TIBFIT, then each candidate event is accepted iff its reporters are at
+/// least as numerous as its silent event neighbours.
+std::vector<LocationDecision> majority_vote_location(
+    std::span<const EventReport> reports, std::span<const util::Vec2> node_positions,
+    double sensing_radius, double r_error);
+
+}  // namespace tibfit::core

@@ -1,0 +1,41 @@
+#include "core/binary_arbiter.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace tibfit::core {
+
+BinaryDecision BinaryArbiter::decide(std::span<const NodeId> event_neighbours,
+                                     std::span<const NodeId> reporters,
+                                     bool apply_trust_updates) {
+    const bool stateful = policy_ == DecisionPolicy::TrustIndex;
+
+    std::unordered_set<NodeId> reported(reporters.begin(), reporters.end());
+
+    BinaryDecision d;
+    for (NodeId n : event_neighbours) {
+        if (stateful && trust_->is_isolated(n)) continue;
+        const double w = stateful ? trust_->ti(n) : 1.0;
+        if (reported.count(n)) {
+            d.reporters.push_back(n);
+            d.weight_reporters += w;
+        } else {
+            d.silent.push_back(n);
+            d.weight_silent += w;
+        }
+    }
+    std::sort(d.reporters.begin(), d.reporters.end());
+    std::sort(d.silent.begin(), d.silent.end());
+
+    d.event_declared = d.weight_reporters >= d.weight_silent;
+
+    if (stateful && apply_trust_updates) {
+        const auto& winners = d.event_declared ? d.reporters : d.silent;
+        const auto& losers = d.event_declared ? d.silent : d.reporters;
+        for (NodeId n : winners) trust_->judge_correct(n);
+        for (NodeId n : losers) trust_->judge_faulty(n);
+    }
+    return d;
+}
+
+}  // namespace tibfit::core

@@ -1,0 +1,96 @@
+#include "core/collusion_detector.h"
+
+#include <algorithm>
+#include <set>
+
+namespace tibfit::core {
+
+CollusionDetector::CollusionDetector(CollusionDetectorParams params) : params_(params) {}
+
+std::uint64_t CollusionDetector::key(NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+CollusionFinding CollusionDetector::inspect(std::span<const EventReport> reports) {
+    CollusionFinding finding;
+
+    // Gather located reports (first per node).
+    std::vector<std::pair<NodeId, util::Vec2>> pts;
+    {
+        std::set<NodeId> seen;
+        for (const auto& r : reports) {
+            if (!r.has_location()) continue;
+            if (seen.insert(r.reporter).second) pts.emplace_back(r.reporter, *r.location);
+        }
+    }
+    if (pts.size() < params_.min_clique) return finding;
+
+    // Connected components of the "within epsilon" graph. Colluders echo
+    // one shared draw, so their component is a true clique; honest
+    // near-coincidences form pairs, filtered by min_clique.
+    const double eps2 = params_.epsilon * params_.epsilon;
+    std::vector<std::size_t> parent(pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) parent[i] = i;
+    auto find = [&](std::size_t x) {
+        while (parent[x] != x) x = parent[x] = parent[parent[x]];
+        return x;
+    };
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        for (std::size_t j = i + 1; j < pts.size(); ++j) {
+            if (util::distance2(pts[i].second, pts[j].second) <= eps2) {
+                parent[find(j)] = find(i);
+            }
+        }
+    }
+    std::unordered_map<std::size_t, std::vector<std::size_t>> components;
+    for (std::size_t i = 0; i < pts.size(); ++i) components[find(i)].push_back(i);
+
+    std::set<NodeId> suspects, convicted;
+    for (const auto& [root, members] : components) {
+        (void)root;
+        if (members.size() < params_.min_clique) continue;
+        for (std::size_t m : members) {
+            const NodeId n = pts[m].first;
+            suspects.insert(n);
+            if (++node_counts_[n] >= params_.conviction_count) convicted.insert(n);
+        }
+        // Pair counts kept for forensics (who colluded with whom).
+        for (std::size_t a = 0; a < members.size(); ++a) {
+            for (std::size_t b = a + 1; b < members.size(); ++b) {
+                ++pair_counts_[key(pts[members[a]].first, pts[members[b]].first)];
+            }
+        }
+    }
+    finding.suspects.assign(suspects.begin(), suspects.end());
+    finding.convicted.assign(convicted.begin(), convicted.end());
+    return finding;
+}
+
+void CollusionDetector::penalize(const CollusionFinding& finding, TrustManager& trust) {
+    for (NodeId n : finding.convicted) trust.quarantine(n);
+}
+
+std::uint32_t CollusionDetector::node_count(NodeId node) const {
+    auto it = node_counts_.find(node);
+    return it == node_counts_.end() ? 0 : it->second;
+}
+
+std::uint32_t CollusionDetector::pair_count(NodeId a, NodeId b) const {
+    auto it = pair_counts_.find(key(a, b));
+    return it == pair_counts_.end() ? 0 : it->second;
+}
+
+bool CollusionDetector::convicted(NodeId node) const {
+    return node_count(node) >= params_.conviction_count;
+}
+
+std::vector<NodeId> CollusionDetector::convicted_nodes() const {
+    std::set<NodeId> out;
+    for (const auto& [n, count] : node_counts_) {
+        if (count >= params_.conviction_count) out.insert(n);
+    }
+    return {out.begin(), out.end()};
+}
+
+}  // namespace tibfit::core

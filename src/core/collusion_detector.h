@@ -1,0 +1,100 @@
+// Collusion detection — the paper's stated future work ("we would like to
+// make TIBFIT more robust against level 2 malicious nodes", Section 7).
+//
+// Level-2 adversaries coordinate over a side channel the network cannot
+// observe, but their coordination leaves a statistical fingerprint: the
+// colluders report the *same* fabricated location, while independent
+// sensors observing a real event disagree by their noise sigma. Two
+// honest reports land within epsilon of each other with probability
+// O(epsilon^2 / sigma^2); three or more doing so repeatedly across events
+// is overwhelming evidence of a shared source.
+//
+// The detector runs per decision window: it finds cliques of near-identical
+// reports (pairwise distance <= epsilon) and counts, per node, how often
+// the node has appeared in such a clique. A node whose count crosses the
+// conviction threshold is convicted. Because events strike random
+// neighbourhoods, a *pair* of specific colluders co-occurs rarely, but
+// every lying window increments each local colluder's own count — per-node
+// counting converges in a handful of windows where pair counting needs
+// hundreds. Pair counts are still tracked for forensics. Convicted nodes
+// are quarantined: their trust is forced below the removal threshold so
+// the standard isolation machinery drops their reports entirely.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/report.h"
+#include "core/trust.h"
+
+namespace tibfit::core {
+
+/// Detector tunables.
+struct CollusionDetectorParams {
+    /// Reports closer than this are "identical" for clique purposes.
+    /// Colluders echoing one shared draw have distance ~0 (up to float
+    /// round-trip error through the polar wire format); honest reports
+    /// with sigma >= 1 land within 0.05 of each other with probability
+    /// ~2e-4 per pair, so triples essentially never form. Must be kept
+    /// orders of magnitude below the honest noise sigma — an adversary
+    /// jittering its echoes by more than epsilon evades this detector
+    /// (catching that needs longitudinal correlation tests; see DESIGN.md).
+    double epsilon = 0.05;
+    /// Minimum clique size to count as a suspicious coincidence. Two
+    /// honest nodes occasionally coincide; three almost never do.
+    std::size_t min_clique = 3;
+    /// A node is convicted after appearing in this many suspicious
+    /// cliques (across windows).
+    std::uint32_t conviction_count = 3;
+};
+
+/// Outcome of inspecting one decision window.
+struct CollusionFinding {
+    /// Nodes participating in at least one suspicious clique this window.
+    std::vector<NodeId> suspects;
+    /// Nodes whose pair conviction count crossed the threshold (subset of
+    /// nodes ever suspected; these take trust penalties).
+    std::vector<NodeId> convicted;
+};
+
+/// Stateful cross-window correlation tracker.
+class CollusionDetector {
+  public:
+    explicit CollusionDetector(CollusionDetectorParams params = {});
+
+    const CollusionDetectorParams& params() const { return params_; }
+
+    /// Inspects one window's located reports (one report per node; the
+    /// caller passes what the arbiter deduplicated). Updates per-node and
+    /// pair counts and returns suspects + the convicted offenders present
+    /// in this window. Pure with respect to trust: apply penalties via
+    /// `penalize` below or your own policy.
+    CollusionFinding inspect(std::span<const EventReport> reports);
+
+    /// Convenience: quarantine every convicted node in `finding` — force
+    /// its trust below the removal threshold so isolation drops it.
+    static void penalize(const CollusionFinding& finding, TrustManager& trust);
+
+    /// Times `node` has appeared in a suspicious clique.
+    std::uint32_t node_count(NodeId node) const;
+
+    /// Lifetime co-occurrence count for a pair (forensics).
+    std::uint32_t pair_count(NodeId a, NodeId b) const;
+
+    /// True if `node` has been convicted.
+    bool convicted(NodeId node) const;
+
+    /// All convicted nodes, ascending.
+    std::vector<NodeId> convicted_nodes() const;
+
+  private:
+    static std::uint64_t key(NodeId a, NodeId b);
+
+    CollusionDetectorParams params_;
+    std::unordered_map<NodeId, std::uint32_t> node_counts_;
+    std::unordered_map<std::uint64_t, std::uint32_t> pair_counts_;
+};
+
+}  // namespace tibfit::core

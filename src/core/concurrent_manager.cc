@@ -1,0 +1,90 @@
+#include "core/concurrent_manager.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tibfit::core {
+
+ConcurrentEventManager::ConcurrentEventManager(double r_error, double t_out)
+    : r_error_(r_error), t_out_(t_out) {
+    if (!(r_error > 0.0)) throw std::invalid_argument("ConcurrentEventManager: r_error <= 0");
+    if (!(t_out > 0.0)) throw std::invalid_argument("ConcurrentEventManager: t_out <= 0");
+}
+
+bool ConcurrentEventManager::add_report(double now, std::size_t report_index,
+                                        const util::Vec2& loc) {
+    // Join the first circle that contains the location.
+    for (auto& c : circles_) {
+        if (c.circle.contains(loc)) {
+            c.members.push_back(report_index);
+            return false;
+        }
+    }
+    circles_.push_back(CircleState{
+        util::Circle{loc, r_error_},
+        now + t_out_,
+        {report_index},
+    });
+    return true;
+}
+
+std::optional<double> ConcurrentEventManager::next_deadline() const {
+    std::optional<double> best;
+    for (const auto& c : circles_) {
+        if (!best || c.deadline < *best) best = c.deadline;
+    }
+    return best;
+}
+
+std::vector<ReportGroup> ConcurrentEventManager::collect_ready(double now) {
+    const std::size_t n = circles_.size();
+    std::vector<ReportGroup> out;
+    if (n == 0) return out;
+
+    // Union-find over overlapping circles.
+    std::vector<std::size_t> parent(n);
+    for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+    auto find = [&](std::size_t x) {
+        while (parent[x] != x) x = parent[x] = parent[parent[x]];
+        return x;
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            if (util::circles_overlap(circles_[i].circle, circles_[j].circle)) {
+                parent[find(j)] = find(i);
+            }
+        }
+    }
+
+    // A component is ready when every member circle's deadline has passed.
+    std::vector<bool> component_ready(n, true);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (circles_[i].deadline > now) component_ready[find(i)] = false;
+    }
+
+    // Gather ready components into groups (arrival order = circle creation
+    // order, then within-circle arrival order).
+    std::vector<ReportGroup> group_of_root(n);
+    std::vector<bool> released(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t r = find(i);
+        if (!component_ready[r]) continue;
+        auto& g = group_of_root[r];
+        g.insert(g.end(), circles_[i].members.begin(), circles_[i].members.end());
+        released[i] = true;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+        if (!group_of_root[r].empty()) out.push_back(std::move(group_of_root[r]));
+    }
+
+    // Compact away released circles.
+    std::vector<CircleState> rest;
+    rest.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!released[i]) rest.push_back(std::move(circles_[i]));
+    }
+    circles_ = std::move(rest);
+    return out;
+}
+
+}  // namespace tibfit::core

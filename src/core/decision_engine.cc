@@ -1,0 +1,60 @@
+#include "core/decision_engine.h"
+
+#include <stdexcept>
+
+namespace tibfit::core {
+
+DecisionEngine::DecisionEngine(EngineConfig cfg)
+    : cfg_(cfg),
+      trust_(cfg.trust),
+      binary_(trust_, cfg.policy),
+      location_(trust_, cfg.policy, cfg.sensing_radius, cfg.r_error),
+      windows_(cfg.r_error, cfg.t_out),
+      collusion_(cfg.collusion) {
+    location_.set_trust_weighted_location(cfg.trust_weighted_location);
+}
+
+void DecisionEngine::run_collusion_defense(std::span<const EventReport> reports) {
+    if (!cfg_.collusion_defense || cfg_.policy != DecisionPolicy::TrustIndex) return;
+    const auto finding = collusion_.inspect(reports);
+    CollusionDetector::penalize(finding, trust_);
+}
+
+BinaryDecision DecisionEngine::decide_binary(std::span<const NodeId> event_neighbours,
+                                             std::span<const NodeId> reporters,
+                                             bool apply_trust_updates) {
+    return binary_.decide(event_neighbours, reporters, apply_trust_updates);
+}
+
+bool DecisionEngine::submit(const EventReport& report) {
+    if (!report.has_location()) {
+        throw std::invalid_argument("DecisionEngine::submit: report has no location");
+    }
+    pending_.push_back(report);
+    return windows_.add_report(report.time, pending_.size() - 1, *report.location);
+}
+
+std::vector<LocationDecision> DecisionEngine::collect(
+    double now, std::span<const util::Vec2> node_positions, bool apply_trust_updates) {
+    std::vector<LocationDecision> out;
+    for (const auto& group : windows_.collect_ready(now)) {
+        std::vector<EventReport> reports;
+        reports.reserve(group.size());
+        for (std::size_t idx : group) reports.push_back(pending_[idx]);
+        if (apply_trust_updates) run_collusion_defense(reports);
+        auto decisions = location_.decide(reports, node_positions, apply_trust_updates);
+        out.insert(out.end(), decisions.begin(), decisions.end());
+    }
+    // All windows drained: the buffer indices are no longer referenced.
+    if (windows_.idle()) pending_.clear();
+    return out;
+}
+
+std::vector<LocationDecision> DecisionEngine::decide_location(
+    std::span<const EventReport> reports, std::span<const util::Vec2> node_positions,
+    bool apply_trust_updates) {
+    if (apply_trust_updates) run_collusion_defense(reports);
+    return location_.decide(reports, node_positions, apply_trust_updates);
+}
+
+}  // namespace tibfit::core

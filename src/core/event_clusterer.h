@@ -1,0 +1,57 @@
+// Section 3.2 — grouping event reports into event clusters.
+//
+// The CH receives k location reports inside a T_out window and must decide
+// how many distinct events they describe and where. The paper gives a
+// K-means-style heuristic:
+//
+//   (1) compute all pairwise distances;
+//   (2) seed two clusters at the farthest pair of reports;
+//   (3) any report farther than r_error from every existing centre becomes
+//       a new centre, until no report can form a separate cluster;
+//   (4) assign the remaining reports to the nearest centre and update each
+//       cluster's centre of gravity (cg);
+//   (5) if two or more centres lie within r_error of each other, replace
+//       them with their weighted average and repeat; rounds run until no
+//       change in cluster constituency.
+//
+// The final cgs are the candidate event locations. Reports more than
+// r_error from every surviving cg were effectively "thrown out".
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/vec2.h"
+
+namespace tibfit::core {
+
+/// One event cluster: its centre of gravity and the indices (into the input
+/// report span) of its member reports.
+struct EventCluster {
+    util::Vec2 cg;
+    std::vector<std::size_t> members;  ///< ascending input indices
+};
+
+/// Deterministic implementation of the paper's clustering heuristic.
+class EventClusterer {
+  public:
+    /// `r_error` is the localization error bound (5 units in Experiment 2).
+    /// `max_rounds` bounds the step-5 refinement loop; the heuristic is not
+    /// guaranteed to reach a fixpoint in theory, so we stop after this many
+    /// rounds (far beyond what any realistic input needs).
+    explicit EventClusterer(double r_error, std::size_t max_rounds = 64);
+
+    double r_error() const { return r_error_; }
+
+    /// Groups `points` into event clusters. Empty input yields no clusters;
+    /// a single point yields one singleton cluster. Every input point is a
+    /// member of exactly one output cluster.
+    std::vector<EventCluster> cluster(std::span<const util::Vec2> points) const;
+
+  private:
+    double r_error_;
+    std::size_t max_rounds_;
+};
+
+}  // namespace tibfit::core

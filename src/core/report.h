@@ -1,0 +1,49 @@
+// Event report value types — the messages sensing nodes send to the cluster
+// head (Section 2/3 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/vec2.h"
+
+namespace tibfit::core {
+
+/// Stable identifier of a sensing node within a cluster.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// Polar event offset (r, theta) relative to the reporting node — the wire
+/// format of Section 3.2. The CH, which knows node positions, converts it to
+/// absolute field coordinates.
+struct PolarOffset {
+    double r = 0.0;
+    double theta = 0.0;  // radians
+
+    util::Vec2 to_cartesian() const { return util::Vec2::from_polar(r, theta); }
+    static PolarOffset from_cartesian(const util::Vec2& d) { return {d.norm(), d.angle()}; }
+};
+
+/// One event report as seen by the cluster head after decoding.
+///
+/// In the binary model (Section 3.1) only `reporter` and `time` matter: the
+/// act of reporting claims "the event happened". In the location model
+/// (Section 3.2) `location` carries the absolute event position implied by
+/// the node's (r, theta) report and its known position.
+struct EventReport {
+    NodeId reporter = kNoNode;
+    double time = 0.0;  // arrival time at the CH (simulation seconds)
+    std::optional<util::Vec2> location;
+
+    bool has_location() const { return location.has_value(); }
+};
+
+/// Resolves a polar report against the reporter's known position.
+inline util::Vec2 resolve_location(const util::Vec2& reporter_position, const PolarOffset& p) {
+    return reporter_position + p.to_cartesian();
+}
+
+}  // namespace tibfit::core

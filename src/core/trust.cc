@@ -1,0 +1,73 @@
+#include "core/trust.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tibfit::core {
+
+double TrustIndex::ti(const TrustParams& p) const { return std::exp(-p.lambda * v_); }
+
+double TrustManager::ti(NodeId node) const {
+    auto it = table_.find(node);
+    return it == table_.end() ? 1.0 : it->second.ti(params_);
+}
+
+double TrustManager::v(NodeId node) const {
+    auto it = table_.find(node);
+    return it == table_.end() ? 0.0 : it->second.v();
+}
+
+void TrustManager::judge_correct(NodeId node) { table_[node].record_correct(params_); }
+
+void TrustManager::judge_faulty(NodeId node) { table_[node].record_faulty(params_); }
+
+double TrustManager::cumulative_ti(const std::vector<NodeId>& nodes) const {
+    double sum = 0.0;
+    for (NodeId n : nodes) sum += ti(n);
+    return sum;
+}
+
+void TrustManager::quarantine(NodeId node) {
+    // v needed for TI = removal_ti / 2 (or a strong fixed penalty when
+    // isolation is off).
+    double target_v = 10.0 / params_.lambda * 0.25;  // ~TI = e^{-2.5}
+    if (params_.removal_ti > 0.0) {
+        target_v = -std::log(params_.removal_ti * 0.5) / params_.lambda;
+    }
+    auto& idx = table_[node];
+    if (idx.v() < target_v) idx = TrustIndex::from_v(target_v);
+}
+
+bool TrustManager::is_isolated(NodeId node) const {
+    if (params_.removal_ti <= 0.0) return false;
+    return ti(node) < params_.removal_ti;
+}
+
+std::vector<std::pair<NodeId, double>> TrustManager::export_v() const {
+    std::vector<std::pair<NodeId, double>> out;
+    out.reserve(table_.size());
+    for (const auto& [id, idx] : table_) out.emplace_back(id, idx.v());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void TrustManager::import_v(const std::vector<std::pair<NodeId, double>>& values) {
+    table_.clear();
+    merge_v(values);
+}
+
+void TrustManager::merge_v(const std::vector<std::pair<NodeId, double>>& values) {
+    for (const auto& [id, v] : values) table_[id] = TrustIndex::from_v(v);
+}
+
+std::vector<NodeId> TrustManager::isolated_nodes() const {
+    std::vector<NodeId> out;
+    for (const auto& [id, idx] : table_) {
+        (void)idx;
+        if (is_isolated(id)) out.push_back(id);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+}  // namespace tibfit::core

@@ -1,0 +1,215 @@
+#include "exp/binary_experiment.h"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "cluster/base_station.h"
+#include "cluster/cluster_head.h"
+#include "cluster/shadow.h"
+#include "net/channel.h"
+#include "sensor/event_generator.h"
+#include "sensor/sensor_node.h"
+#include "sim/simulator.h"
+
+namespace tibfit::exp {
+
+namespace {
+
+/// Everything is in mutual radio/sensing range in Experiment 1.
+constexpr double kBigRadius = 1000.0;
+constexpr double kField = 40.0;
+
+}  // namespace
+
+BinaryResult run_binary_experiment(const BinaryConfig& config) {
+    sim::Simulator simulator;
+    util::Rng root(config.seed);
+
+    net::ChannelParams chan_params;
+    chan_params.drop_probability = config.channel_drop;
+    net::Channel channel(simulator, root.stream("channel"), chan_params);
+
+    core::TrustParams trust;
+    trust.lambda = config.lambda;
+    trust.fault_rate = config.fault_rate < 0.0 ? config.correct_ner : config.fault_rate;
+    trust.removal_ti = config.removal_ti;
+
+    sensor::FaultParams faults;
+    faults.natural_error_rate = config.correct_ner;
+    faults.missed_alarm_rate = config.missed_alarm_rate;
+    faults.false_alarm_rate = config.false_alarm_rate;
+
+    // Choose which nodes are faulty (uniformly, deterministic per seed).
+    const auto n_faulty =
+        static_cast<std::size_t>(config.pct_faulty * static_cast<double>(config.n_nodes) + 0.5);
+    std::vector<bool> faulty(config.n_nodes, false);
+    {
+        std::vector<std::size_t> order(config.n_nodes);
+        std::iota(order.begin(), order.end(), 0);
+        util::Rng pick = root.stream("select");
+        for (std::size_t i = order.size(); i > 1; --i) {
+            std::swap(order[i - 1], order[pick.uniform_index(i)]);
+        }
+        for (std::size_t i = 0; i < n_faulty && i < order.size(); ++i) faulty[order[i]] = true;
+    }
+
+    // Build the population.
+    util::Rng placement = root.stream("placement");
+    std::vector<util::Vec2> positions(config.n_nodes);
+    std::vector<std::unique_ptr<sensor::SensorNode>> nodes;
+    nodes.reserve(config.n_nodes);
+    const auto ch_id = static_cast<sim::ProcessId>(config.n_nodes);
+    for (std::size_t i = 0; i < config.n_nodes; ++i) {
+        positions[i] = placement.point_in_rect(kField, kField);
+        std::unique_ptr<sensor::FaultBehavior> behavior;
+        if (faulty[i]) {
+            behavior = std::make_unique<sensor::Level0Fault>(faults, /*binary_mode=*/true);
+        } else {
+            behavior = std::make_unique<sensor::CorrectBehavior>(faults);
+        }
+        auto node = std::make_unique<sensor::SensorNode>(
+            simulator, static_cast<sim::ProcessId>(i), positions[i], kBigRadius,
+            net::Radio(channel, static_cast<sim::ProcessId>(i)), std::move(behavior),
+            root.stream("node", i), trust);
+        node->set_binary_mode(true);
+        node->set_cluster_head(ch_id);
+        channel.attach(*node, positions[i], kBigRadius);
+        nodes.push_back(std::move(node));
+    }
+
+    core::EngineConfig engine_cfg;
+    engine_cfg.policy = config.policy;
+    engine_cfg.sensing_radius = kBigRadius;
+    engine_cfg.t_out = config.t_out;
+    engine_cfg.trust = trust;
+
+    cluster::ClusterHead ch(simulator, ch_id, net::Radio(channel, ch_id), engine_cfg);
+    ch.set_binary_mode(true);
+    ch.set_topology(positions);
+    ch.set_corrupt(config.corrupt_ch);
+    channel.attach(ch, {kField / 2.0, kField / 2.0}, kBigRadius);
+    channel.set_drop_probability(ch_id, 0.0);  // control traffic is reliable
+
+    // Section 3.4 machinery: two shadows monitoring the CH + a base
+    // station whose vote becomes the authoritative output.
+    const auto sch1_id = static_cast<sim::ProcessId>(config.n_nodes + 1);
+    const auto sch2_id = static_cast<sim::ProcessId>(config.n_nodes + 2);
+    const auto bs_id = static_cast<sim::ProcessId>(config.n_nodes + 3);
+    std::optional<cluster::ShadowClusterHead> sch1, sch2;
+    std::optional<cluster::BaseStation> station;
+    if (config.use_shadows) {
+        ch.set_base_station(bs_id);
+        sch1.emplace(simulator, sch1_id, net::Radio(channel, sch1_id), engine_cfg, ch_id,
+                     bs_id);
+        sch2.emplace(simulator, sch2_id, net::Radio(channel, sch2_id), engine_cfg, ch_id,
+                     bs_id);
+        for (auto* s : {&*sch1, &*sch2}) {
+            s->set_binary_mode(true);
+            s->set_topology(positions);
+        }
+        channel.attach(*sch1, {kField / 2.0 + 1.0, kField / 2.0}, kBigRadius);
+        channel.attach(*sch2, {kField / 2.0 - 1.0, kField / 2.0}, kBigRadius);
+        channel.set_drop_probability(sch1_id, 0.0);
+        channel.set_drop_probability(sch2_id, 0.0);
+        channel.add_monitor(sch1_id, ch_id);
+        channel.add_monitor(sch2_id, ch_id);
+        station.emplace(simulator, bs_id, net::Radio(channel, bs_id), trust,
+                        /*alert_wait=*/config.t_out / 2.0);
+        channel.attach(*station, {kField / 2.0, kField + 20.0}, kBigRadius);
+        channel.set_drop_probability(bs_id, 0.0);
+    }
+
+    sensor::EventGenerator generator(simulator, root.stream("events"), kField, kField);
+    {
+        std::vector<sensor::SensorNode*> raw;
+        raw.reserve(nodes.size());
+        for (auto& n : nodes) raw.push_back(n.get());
+        generator.set_nodes(std::move(raw));
+    }
+
+    std::vector<cluster::DecisionRecord> decisions;
+    ch.on_decision([&decisions](const cluster::DecisionRecord& r) { decisions.push_back(r); });
+
+    const double start = 5.0;
+    generator.schedule_events(config.events, config.event_interval, start);
+    if (config.false_alarm_rate > 0.0) {
+        // Jitter each node's false-alarm opportunity: level-0 alarms are
+        // uncoordinated in time, but land close enough that several can
+        // fall into one CH adjudication window (see BinaryConfig).
+        generator.schedule_quiet_windows(config.events, config.event_interval,
+                                         start + config.event_interval / 3.0,
+                                         config.false_alarm_spread_touts * config.t_out);
+    }
+
+    simulator.run();
+
+    // ---- Scoring ----
+    BinaryResult result;
+    result.events = generator.history().size();
+
+    // With shadows deployed, the base station's vote is authoritative:
+    // override each CH announcement with the station's final conclusion.
+    if (config.use_shadows) {
+        for (auto& d : decisions) {
+            for (const auto& f : station->final_decisions()) {
+                if (f.seq == d.seq) {
+                    d.event_declared = f.event_declared;
+                    break;
+                }
+            }
+        }
+        result.ch_overrides = station->overrides();
+    }
+
+    std::vector<bool> decision_matched(decisions.size(), false);
+    for (const auto& ev : generator.history()) {
+        bool detected = false;
+        for (std::size_t d = 0; d < decisions.size(); ++d) {
+            if (decision_matched[d]) continue;
+            const double dt = decisions[d].window_opened - ev.time;
+            if (dt >= 0.0 && dt <= config.t_out) {
+                decision_matched[d] = true;
+                detected = decisions[d].event_declared;
+                break;
+            }
+        }
+        if (detected) ++result.detected;
+    }
+    for (std::size_t d = 0; d < decisions.size(); ++d) {
+        if (decision_matched[d]) continue;
+        ++result.false_alarm_windows;  // a window no real event explains
+        if (decisions[d].event_declared) ++result.phantoms_declared;
+    }
+
+    const std::size_t instances = result.events + result.false_alarm_windows;
+    const std::size_t correct =
+        result.detected + (result.false_alarm_windows - result.phantoms_declared);
+    result.accuracy = instances ? static_cast<double>(correct) / static_cast<double>(instances)
+                                : 0.0;
+    result.detection_rate =
+        result.events ? static_cast<double>(result.detected) / static_cast<double>(result.events)
+                      : 0.0;
+
+    // Final trust state, split by ground-truth class.
+    const auto& tm = ch.engine().trust();
+    double sum_c = 0.0, sum_f = 0.0;
+    std::size_t n_c = 0, n_f = 0;
+    for (std::size_t i = 0; i < config.n_nodes; ++i) {
+        const double ti = tm.ti(static_cast<core::NodeId>(i));
+        if (faulty[i]) {
+            sum_f += ti;
+            ++n_f;
+        } else {
+            sum_c += ti;
+            ++n_c;
+        }
+    }
+    result.mean_ti_correct = n_c ? sum_c / static_cast<double>(n_c) : 1.0;
+    result.mean_ti_faulty = n_f ? sum_f / static_cast<double>(n_f) : 1.0;
+    return result;
+}
+
+}  // namespace tibfit::exp

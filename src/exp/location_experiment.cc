@@ -1,0 +1,350 @@
+#include "exp/location_experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "cluster/base_station.h"
+#include "cluster/cluster_head.h"
+#include "net/channel.h"
+#include "net/routing.h"
+#include "sensor/collusion.h"
+#include "sensor/event_generator.h"
+#include "sensor/mobility.h"
+#include "sensor/sensor_node.h"
+#include "sim/simulator.h"
+
+namespace tibfit::exp {
+
+namespace {
+
+/// Radio range covering the whole field plus the off-field base station.
+constexpr double kRange = 400.0;
+
+/// Builds the behaviour object for one (possibly shared-channel) node.
+std::unique_ptr<sensor::FaultBehavior> make_behavior(
+    sensor::NodeClass cls, const sensor::FaultParams& fp,
+    const std::shared_ptr<sensor::CollusionChannel>& collusion) {
+    switch (cls) {
+        case sensor::NodeClass::Correct:
+            return std::make_unique<sensor::CorrectBehavior>(fp);
+        case sensor::NodeClass::Level0:
+            return std::make_unique<sensor::Level0Fault>(fp, /*binary_mode=*/false);
+        case sensor::NodeClass::Level1:
+            return std::make_unique<sensor::Level1Fault>(fp, /*binary_mode=*/false);
+        case sensor::NodeClass::Level2:
+            return std::make_unique<sensor::Level2Fault>(fp, /*binary_mode=*/false, collusion);
+    }
+    return nullptr;
+}
+
+}  // namespace
+
+LocationResult run_location_experiment(const LocationConfig& config) {
+    sim::Simulator simulator;
+    util::Rng root(config.seed);
+
+    net::ChannelParams chan_params;
+    chan_params.drop_probability = config.channel_drop;
+    chan_params.airtime = config.channel_airtime;
+    net::Channel channel(simulator, root.stream("channel"), chan_params);
+
+    core::TrustParams trust;
+    trust.lambda = config.lambda;
+    trust.fault_rate = config.fault_rate;
+    trust.removal_ti = config.removal_ti;
+
+    sensor::FaultParams faults;
+    faults.natural_error_rate = 0.0;  // location-model NER comes from sigma + channel
+    faults.correct_sigma = config.correct_sigma;
+    faults.faulty_sigma = config.faulty_sigma;
+    faults.faulty_drop_rate = config.faulty_drop_rate;
+    faults.false_alarm_rate = config.false_alarm_rate;
+    faults.lower_ti = config.lower_ti;
+    faults.upper_ti = config.upper_ti;
+    faults.collusion_jitter = config.collusion_jitter;
+
+    auto collusion = std::make_shared<sensor::CollusionChannel>(
+        root.stream("collusion"), faults, /*binary_mode=*/false);
+
+    // ---- Node placement ----
+    std::vector<util::Vec2> positions(config.n_nodes);
+    if (config.grid_layout) {
+        const auto side = static_cast<std::size_t>(
+            std::llround(std::sqrt(static_cast<double>(config.n_nodes))));
+        const double spacing = config.field / static_cast<double>(side);
+        for (std::size_t i = 0; i < config.n_nodes; ++i) {
+            const std::size_t gx = i % side;
+            const std::size_t gy = i / side;
+            positions[i] = {spacing * (0.5 + static_cast<double>(gx)),
+                            spacing * (0.5 + static_cast<double>(gy))};
+        }
+    } else {
+        util::Rng placement = root.stream("placement");
+        for (auto& p : positions) p = placement.point_in_rect(config.field, config.field);
+    }
+
+    // ---- Compromise order ----
+    // A fixed random permutation decides which nodes are (or become) faulty;
+    // the decay schedule extends the compromised prefix over time.
+    std::vector<std::size_t> compromise_order(config.n_nodes);
+    std::iota(compromise_order.begin(), compromise_order.end(), 0);
+    {
+        util::Rng pick = root.stream("select");
+        for (std::size_t i = compromise_order.size(); i > 1; --i) {
+            std::swap(compromise_order[i - 1], compromise_order[pick.uniform_index(i)]);
+        }
+    }
+    const double initial_pct = config.decay ? config.decay_initial : config.pct_faulty;
+    const auto initially_faulty = static_cast<std::size_t>(
+        initial_pct * static_cast<double>(config.n_nodes) + 0.5);
+    std::vector<bool> faulty(config.n_nodes, false);
+    for (std::size_t i = 0; i < initially_faulty && i < config.n_nodes; ++i) {
+        faulty[compromise_order[i]] = true;
+    }
+
+    // ---- Nodes ----
+    const double sensor_range = config.multihop ? config.radio_range : kRange;
+    std::vector<std::unique_ptr<sensor::SensorNode>> nodes;
+    nodes.reserve(config.n_nodes);
+    for (std::size_t i = 0; i < config.n_nodes; ++i) {
+        const auto cls = faulty[i] ? config.fault_level : sensor::NodeClass::Correct;
+        auto node = std::make_unique<sensor::SensorNode>(
+            simulator, static_cast<sim::ProcessId>(i), positions[i], config.sensing_radius,
+            net::Radio(channel, static_cast<sim::ProcessId>(i)),
+            make_behavior(cls, faults, collusion), root.stream("node", i), trust);
+        node->set_binary_mode(false);
+        node->set_tx_jitter(config.tx_jitter);
+        channel.attach(*node, positions[i], sensor_range);
+        nodes.push_back(std::move(node));
+    }
+
+    // ---- Cluster heads + base station ----
+    core::EngineConfig engine_cfg;
+    engine_cfg.policy = config.policy;
+    engine_cfg.sensing_radius = config.sensing_radius;
+    engine_cfg.r_error = config.r_error;
+    engine_cfg.t_out = config.t_out;
+    engine_cfg.trust = trust;
+    engine_cfg.collusion_defense = config.collusion_defense;
+    engine_cfg.trust_weighted_location = config.trust_weighted_location;
+
+    const auto bs_id = static_cast<sim::ProcessId>(config.n_nodes + config.n_ch);
+    std::vector<std::unique_ptr<cluster::ClusterHead>> heads;
+    std::vector<cluster::DecisionRecord> decisions;
+    for (std::size_t c = 0; c < config.n_ch; ++c) {
+        const auto id = static_cast<sim::ProcessId>(config.n_nodes + c);
+        auto head = std::make_unique<cluster::ClusterHead>(simulator, id,
+                                                           net::Radio(channel, id), engine_cfg);
+        head->set_binary_mode(false);
+        head->set_topology(positions);
+        head->set_base_station(bs_id);
+        head->set_active(c == 0);
+        head->on_decision(
+            [&decisions](const cluster::DecisionRecord& r) { decisions.push_back(r); });
+        // CHs sit near the field centre, spread slightly so they are
+        // distinct radio endpoints.
+        const util::Vec2 pos{config.field / 2.0 + 2.0 * static_cast<double>(c),
+                             config.field / 2.0};
+        channel.attach(*head, pos, kRange);
+        channel.set_drop_probability(id, 0.0);  // CH control traffic is reliable
+        heads.push_back(std::move(head));
+    }
+
+    cluster::BaseStation station(simulator, bs_id, net::Radio(channel, bs_id), trust);
+    channel.attach(station, {config.field / 2.0, config.field + 20.0}, kRange);
+    channel.set_drop_probability(bs_id, 0.0);
+
+    for (auto& n : nodes) n->set_cluster_head(heads.front()->id());
+
+    // ---- Multi-hop relay fabric (Section 3.4 extension) ----
+    // Sensors route reports toward the CHs through each other; CHs unwrap.
+    net::RoutingTable routes;
+    if (config.multihop) {
+        std::vector<net::RouterEntry> entries;
+        for (std::size_t i = 0; i < config.n_nodes; ++i) {
+            entries.push_back({static_cast<sim::ProcessId>(i), positions[i], sensor_range});
+        }
+        for (auto& h : heads) {
+            entries.push_back({h->id(), channel.position(h->id()), kRange});
+        }
+        routes.rebuild(std::move(entries));
+        for (auto& n : nodes) n->enable_relay(&routes);
+        for (auto& h : heads) h->enable_relay(&routes);
+    }
+
+    // ---- Mobility (Section 2 extension) ----
+    sensor::MobilityParams mob_params;
+    mob_params.speed_min = config.speed_min;
+    mob_params.speed_max = config.speed_max;
+    mob_params.tick = config.mobility_tick;
+    mob_params.field_w = config.field;
+    mob_params.field_h = config.field;
+    sensor::MobilityManager mobility(simulator, root.stream("mobility"), mob_params);
+    if (config.mobile) {
+        for (auto& n : nodes) mobility.manage(*n, channel);
+        mobility.on_tick([&] {
+            // The CHs re-estimate node positions (Section 2's requirement
+            // for mobile operation); relay routes are rebuilt when in use.
+            std::vector<util::Vec2> current(config.n_nodes);
+            for (std::size_t i = 0; i < config.n_nodes; ++i) current[i] = nodes[i]->position();
+            for (auto& h : heads) h->set_topology(current);
+            if (config.multihop) {
+                std::vector<net::RouterEntry> entries;
+                for (std::size_t i = 0; i < config.n_nodes; ++i) {
+                    entries.push_back(
+                        {static_cast<sim::ProcessId>(i), current[i], sensor_range});
+                }
+                for (auto& h : heads) {
+                    entries.push_back({h->id(), channel.position(h->id()), kRange});
+                }
+                routes.rebuild(std::move(entries));
+            }
+        });
+    }
+
+    // ---- Event schedule ----
+    sensor::EventGenerator generator(simulator, root.stream("events"), config.field,
+                                     config.field);
+    {
+        std::vector<sensor::SensorNode*> raw;
+        raw.reserve(nodes.size());
+        for (auto& n : nodes) raw.push_back(n.get());
+        generator.set_nodes(std::move(raw));
+    }
+
+    std::size_t total_events = config.events;
+    if (config.decay) {
+        const auto epochs = static_cast<std::size_t>(
+            std::llround((config.decay_final - config.decay_initial) / config.decay_step)) + 1;
+        total_events = epochs * config.decay_epoch_events;
+    }
+    const double start = 5.0;
+    const std::size_t instants = (total_events + config.burst - 1) / config.burst;
+    generator.schedule_events(instants, config.event_interval, start, config.burst,
+                              config.burst > 1 ? config.r_error : 0.0);
+    if (config.false_alarm_rate > 0.0) {
+        generator.schedule_quiet_windows(instants, config.event_interval,
+                                         start + config.event_interval / 3.0,
+                                         config.event_interval / 3.0);
+    }
+
+    // ---- CH rotation schedule ----
+    // Rotations happen between events, every rotation_period event instants.
+    const double rotation_gap = config.event_interval / 2.0;
+    std::size_t active_ch = 0;
+    const std::size_t n_rotations =
+        config.rotation_period ? instants / config.rotation_period : 0;
+    for (std::size_t r = 1; r <= n_rotations; ++r) {
+        const double at = start +
+                          config.event_interval * static_cast<double>(r * config.rotation_period) -
+                          rotation_gap;
+        if (at <= start) continue;
+        simulator.schedule_at(at, [&heads, &nodes, &active_ch, n_ch = config.n_ch] {
+            heads[active_ch]->end_leadership();
+            active_ch = (active_ch + 1) % n_ch;
+            heads[active_ch]->set_active(true);
+            heads[active_ch]->request_archive();
+            for (auto& n : nodes) n->set_cluster_head(heads[active_ch]->id());
+        });
+    }
+
+    // ---- Decay schedule (Experiment 3) ----
+    if (config.decay) {
+        const auto epochs = total_events / config.decay_epoch_events;
+        for (std::size_t e = 1; e < epochs; ++e) {
+            const double at = start +
+                              config.event_interval *
+                                  static_cast<double>(e * config.decay_epoch_events) -
+                              rotation_gap / 2.0;
+            const double target_pct = config.decay_initial +
+                                      config.decay_step * static_cast<double>(e);
+            simulator.schedule_at(at, [&, target_pct] {
+                const auto target = static_cast<std::size_t>(
+                    target_pct * static_cast<double>(config.n_nodes) + 0.5);
+                for (std::size_t i = 0; i < target && i < config.n_nodes; ++i) {
+                    const std::size_t idx = compromise_order[i];
+                    if (faulty[idx]) continue;
+                    faulty[idx] = true;
+                    nodes[idx]->set_behavior(
+                        make_behavior(config.fault_level, faults, collusion));
+                }
+            });
+        }
+    }
+
+    if (config.mobile) {
+        mobility.start(start + config.event_interval * static_cast<double>(instants));
+    }
+
+    simulator.run();
+
+    // ---- Scoring ----
+    LocationResult result;
+    result.events = generator.history().size();
+    const double match_window = 3.0 * config.t_out + 1.0;
+
+    std::vector<bool> explained(decisions.size(), false);
+    std::vector<bool> event_detected(result.events, false);
+    for (std::size_t e = 0; e < generator.history().size(); ++e) {
+        const auto& ev = generator.history()[e];
+        for (std::size_t d = 0; d < decisions.size(); ++d) {
+            const auto& dec = decisions[d];
+            if (!dec.has_location) continue;
+            const double dt = dec.time - ev.time;
+            if (dt < 0.0 || dt > match_window) continue;
+            if (util::distance(dec.location, ev.location) > config.r_error) continue;
+            explained[d] = true;
+            if (dec.event_declared) event_detected[e] = true;
+        }
+        if (event_detected[e]) ++result.detected;
+    }
+    for (std::size_t d = 0; d < decisions.size(); ++d) {
+        if (!explained[d] && decisions[d].event_declared) ++result.false_positives;
+    }
+    result.accuracy = result.events
+                          ? static_cast<double>(result.detected) /
+                                static_cast<double>(result.events)
+                          : 0.0;
+
+    // Per-epoch accuracy series (events are ordered by generation time).
+    if (config.epoch_events > 0) {
+        std::size_t i = 0;
+        while (i < event_detected.size()) {
+            const std::size_t end = std::min(i + config.epoch_events, event_detected.size());
+            std::size_t hits = 0;
+            for (std::size_t j = i; j < end; ++j) hits += event_detected[j] ? 1 : 0;
+            result.epoch_accuracy.push_back(static_cast<double>(hits) /
+                                            static_cast<double>(end - i));
+            i = end;
+        }
+    }
+
+    // Final trust state from the currently active CH.
+    const auto& tm = heads[active_ch]->engine().trust();
+    result.isolated = tm.isolated_nodes().size();
+    double sum_c = 0.0, sum_f = 0.0;
+    std::size_t n_c = 0, n_f = 0;
+    for (std::size_t i = 0; i < config.n_nodes; ++i) {
+        const double ti = tm.ti(static_cast<core::NodeId>(i));
+        if (faulty[i]) {
+            sum_f += ti;
+            ++n_f;
+        } else {
+            sum_c += ti;
+            ++n_c;
+        }
+    }
+    result.mean_ti_correct = n_c ? sum_c / static_cast<double>(n_c) : 1.0;
+    result.mean_ti_faulty = n_f ? sum_f / static_cast<double>(n_f) : 1.0;
+
+    if (config.keep_trace) {
+        result.trace_events = generator.history();
+        result.trace_decisions = std::move(decisions);
+    }
+    return result;
+}
+
+}  // namespace tibfit::exp

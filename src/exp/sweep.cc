@@ -1,0 +1,70 @@
+#include "exp/sweep.h"
+
+#include <algorithm>
+
+namespace tibfit::exp {
+
+double mean_binary_accuracy(BinaryConfig config, std::size_t runs) {
+    double sum = 0.0;
+    for (std::size_t r = 0; r < runs; ++r) {
+        config.seed = config.seed * 2654435761u + r + 1;
+        sum += run_binary_experiment(config).accuracy;
+    }
+    return runs ? sum / static_cast<double>(runs) : 0.0;
+}
+
+double mean_location_accuracy(LocationConfig config, std::size_t runs) {
+    double sum = 0.0;
+    for (std::size_t r = 0; r < runs; ++r) {
+        config.seed = config.seed * 2654435761u + r + 1;
+        sum += run_location_experiment(config).accuracy;
+    }
+    return runs ? sum / static_cast<double>(runs) : 0.0;
+}
+
+std::vector<double> mean_epoch_accuracy(LocationConfig config, std::size_t runs) {
+    std::vector<double> sum;
+    std::size_t min_len = 0;
+    for (std::size_t r = 0; r < runs; ++r) {
+        config.seed = config.seed * 2654435761u + r + 1;
+        const auto series = run_location_experiment(config).epoch_accuracy;
+        if (r == 0) {
+            sum = series;
+            min_len = series.size();
+        } else {
+            min_len = std::min(min_len, series.size());
+            for (std::size_t i = 0; i < min_len; ++i) sum[i] += series[i];
+        }
+    }
+    sum.resize(min_len);
+    for (auto& s : sum) s /= static_cast<double>(runs ? runs : 1);
+    return sum;
+}
+
+std::vector<double> sweep_binary(BinaryConfig config, const std::vector<double>& xs,
+                                 const std::function<void(BinaryConfig&, double)>& set,
+                                 std::size_t runs) {
+    std::vector<double> out;
+    out.reserve(xs.size());
+    for (double x : xs) {
+        BinaryConfig c = config;
+        set(c, x);
+        out.push_back(mean_binary_accuracy(c, runs));
+    }
+    return out;
+}
+
+std::vector<double> sweep_location(LocationConfig config, const std::vector<double>& xs,
+                                   const std::function<void(LocationConfig&, double)>& set,
+                                   std::size_t runs) {
+    std::vector<double> out;
+    out.reserve(xs.size());
+    for (double x : xs) {
+        LocationConfig c = config;
+        set(c, x);
+        out.push_back(mean_location_accuracy(c, runs));
+    }
+    return out;
+}
+
+}  // namespace tibfit::exp

@@ -1,0 +1,35 @@
+// Shared sweep drivers for the benches: run an experiment across a
+// parameter range, averaging over seeds, and collect paper-style series.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "exp/binary_experiment.h"
+#include "exp/location_experiment.h"
+
+namespace tibfit::exp {
+
+/// Mean accuracy of `runs` binary runs differing only in seed.
+double mean_binary_accuracy(BinaryConfig config, std::size_t runs);
+
+/// Mean accuracy of `runs` location runs differing only in seed.
+double mean_location_accuracy(LocationConfig config, std::size_t runs);
+
+/// Mean per-epoch accuracy series over `runs` seeds (series are truncated
+/// to the shortest run, which only differs if an experiment aborts).
+std::vector<double> mean_epoch_accuracy(LocationConfig config, std::size_t runs);
+
+/// Sweep helper: applies `set` for each value in `xs` and records the mean
+/// binary accuracy.
+std::vector<double> sweep_binary(BinaryConfig config, const std::vector<double>& xs,
+                                 const std::function<void(BinaryConfig&, double)>& set,
+                                 std::size_t runs);
+
+/// Sweep helper for location experiments.
+std::vector<double> sweep_location(LocationConfig config, const std::vector<double>& xs,
+                                   const std::function<void(LocationConfig&, double)>& set,
+                                   std::size_t runs);
+
+}  // namespace tibfit::exp

@@ -1,0 +1,26 @@
+#include "exp/trace.h"
+
+#include <ostream>
+
+namespace tibfit::exp {
+
+void write_trace_csv(std::ostream& os, const std::vector<sensor::GeneratedEvent>& events,
+                     const std::vector<cluster::DecisionRecord>& decisions) {
+    os << "# events\n";
+    os << "event_id,time,x,y,event_neighbours\n";
+    for (const auto& e : events) {
+        os << e.id << ',' << e.time << ',' << e.location.x << ',' << e.location.y << ','
+           << e.event_neighbours.size() << '\n';
+    }
+    os << "# decisions\n";
+    os << "seq,time,window_opened,declared,has_location,x,y,weight_reporters,weight_silent,"
+          "n_reporters\n";
+    for (const auto& d : decisions) {
+        os << d.seq << ',' << d.time << ',' << d.window_opened << ','
+           << (d.event_declared ? 1 : 0) << ',' << (d.has_location ? 1 : 0) << ','
+           << d.location.x << ',' << d.location.y << ',' << d.weight_reporters << ','
+           << d.weight_silent << ',' << d.n_reporters << '\n';
+    }
+}
+
+}  // namespace tibfit::exp

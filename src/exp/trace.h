@@ -1,0 +1,20 @@
+// Decision/event trace output — the ns-2 habit worth keeping: every run
+// can dump a machine-readable trace of what the generator injected and
+// what the cluster heads decided, for post-hoc analysis outside the
+// harness (plotting, debugging a disagreement, feeding a notebook).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "cluster/cluster_head.h"
+#include "sensor/event_generator.h"
+
+namespace tibfit::exp {
+
+/// Writes two CSV blocks: `# events` (ground truth) and `# decisions`
+/// (the CH decision log), in chronological order.
+void write_trace_csv(std::ostream& os, const std::vector<sensor::GeneratedEvent>& events,
+                     const std::vector<cluster::DecisionRecord>& decisions);
+
+}  // namespace tibfit::exp

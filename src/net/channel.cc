@@ -1,0 +1,167 @@
+#include "net/channel.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tibfit::net {
+
+Channel::Channel(sim::Simulator& sim, util::Rng rng, ChannelParams params)
+    : sim_(&sim), rng_(rng), params_(params) {}
+
+void Channel::attach(sim::Process& process, const util::Vec2& position, double radio_range) {
+    endpoints_[process.id()] = Endpoint{&process, position, radio_range, -1.0};
+}
+
+void Channel::detach(sim::ProcessId id) { endpoints_.erase(id); }
+
+void Channel::set_position(sim::ProcessId id, const util::Vec2& position) {
+    auto it = endpoints_.find(id);
+    if (it == endpoints_.end()) throw std::out_of_range("Channel::set_position: unknown process");
+    it->second.position = position;
+}
+
+util::Vec2 Channel::position(sim::ProcessId id) const {
+    auto it = endpoints_.find(id);
+    if (it == endpoints_.end()) throw std::out_of_range("Channel::position: unknown process");
+    return it->second.position;
+}
+
+void Channel::set_drop_probability(sim::ProcessId id, double p) {
+    auto it = endpoints_.find(id);
+    if (it == endpoints_.end()) {
+        throw std::out_of_range("Channel::set_drop_probability: unknown process");
+    }
+    it->second.drop_override = p;
+}
+
+void Channel::add_monitor(sim::ProcessId monitor, sim::ProcessId target) {
+    auto& list = monitors_[target];
+    for (auto m : list) {
+        if (m == monitor) return;
+    }
+    list.push_back(monitor);
+}
+
+void Channel::remove_monitor(sim::ProcessId monitor, sim::ProcessId target) {
+    auto it = monitors_.find(target);
+    if (it == monitors_.end()) return;
+    auto& list = it->second;
+    list.erase(std::remove(list.begin(), list.end(), monitor), list.end());
+    if (list.empty()) monitors_.erase(it);
+}
+
+void Channel::snoop(const Packet& packet, const Endpoint& src) {
+    // Copies for monitors of either endpoint of a unicast.
+    for (sim::ProcessId watched : {packet.src, packet.dst}) {
+        auto it = monitors_.find(watched);
+        if (it == monitors_.end()) continue;
+        for (sim::ProcessId mon : it->second) {
+            if (mon == packet.src || mon == packet.dst) continue;
+            auto mon_it = endpoints_.find(mon);
+            if (mon_it == endpoints_.end()) continue;
+            const double dist = util::distance(src.position, mon_it->second.position);
+            if (dist > src.range) continue;
+            if (rng_.chance(sender_drop_probability(src))) continue;
+            deliver(mon_it->second, packet, dist);
+        }
+    }
+}
+
+double Channel::sender_drop_probability(const Endpoint& sender) const {
+    return sender.drop_override >= 0.0 ? sender.drop_override : params_.drop_probability;
+}
+
+void Channel::deliver(Endpoint& to, Packet packet, double dist) {
+    const double delay = params_.base_latency + dist / params_.propagation_speed;
+    packet.rssi = 1.0 / (1.0 + dist * dist);
+    sim::Process* process = to.process;
+
+    if (params_.airtime <= 0.0) {
+        sim_->schedule(delay, [process, packet = std::move(packet)]() mutable {
+            process->handle_packet(packet);
+        });
+        ++delivered_;
+        return;
+    }
+
+    // Collision model: this reception occupies the receiver's radio for
+    // [arrive, arrive + airtime). Any overlap with another in-flight
+    // reception destroys both (the other is cancelled mid-air; this one is
+    // kept only as a jam marker so a third packet collides with it too).
+    const double now = sim_->now();
+    const double arrive = now + delay;
+    const double end = arrive + params_.airtime;
+
+    auto& flights = to.in_flight;
+    flights.erase(std::remove_if(flights.begin(), flights.end(),
+                                 [now](const Reception& r) { return r.end <= now; }),
+                  flights.end());
+
+    bool collided = false;
+    for (auto& r : flights) {
+        if (arrive < r.end && r.start < end) {
+            collided = true;
+            if (sim_->cancel(r.timer)) ++collisions_;  // the victim dies mid-air
+        }
+    }
+    if (collided) {
+        ++collisions_;
+        flights.push_back(Reception{arrive, end, sim::Timer{}});  // jam marker
+        return;
+    }
+    sim::Timer t = sim_->schedule(delay, [this, process, packet = std::move(packet)]() mutable {
+        ++delivered_;
+        process->handle_packet(packet);
+    });
+    flights.push_back(Reception{arrive, end, t});
+}
+
+bool Channel::unicast(Packet packet) {
+    auto src_it = endpoints_.find(packet.src);
+    if (src_it == endpoints_.end()) throw std::out_of_range("Channel::unicast: unknown sender");
+    auto dst_it = endpoints_.find(packet.dst);
+    if (dst_it == endpoints_.end()) {
+        ++out_of_range_;
+        return false;
+    }
+    const double dist = util::distance(src_it->second.position, dst_it->second.position);
+    if (dist > src_it->second.range) {
+        ++out_of_range_;
+        return false;
+    }
+    packet.sent_at = sim_->now();
+    snoop(packet, src_it->second);
+    if (rng_.chance(sender_drop_probability(src_it->second))) {
+        ++dropped_;
+        return false;
+    }
+    deliver(dst_it->second, std::move(packet), dist);
+    return true;
+}
+
+std::size_t Channel::broadcast(Packet packet) {
+    auto src_it = endpoints_.find(packet.src);
+    if (src_it == endpoints_.end()) throw std::out_of_range("Channel::broadcast: unknown sender");
+    const Endpoint& src = src_it->second;
+    packet.sent_at = sim_->now();
+    packet.dst = kBroadcast;
+
+    std::size_t n = 0;
+    for (auto& [id, ep] : endpoints_) {
+        if (id == packet.src) continue;
+        const double dist = util::distance(src.position, ep.position);
+        if (dist > src.range) {
+            ++out_of_range_;
+            continue;
+        }
+        if (rng_.chance(sender_drop_probability(src))) {
+            ++dropped_;
+            continue;
+        }
+        deliver(ep, packet, dist);
+        ++n;
+    }
+    return n;
+}
+
+}  // namespace tibfit::net

@@ -1,0 +1,111 @@
+// The wireless broadcast medium. Replaces the ns-2 channel (DESIGN.md §2):
+// the only channel behaviours the paper's evaluation leans on are (a)
+// distance-limited delivery, (b) propagation delay, and (c) a small random
+// per-packet loss ("correct nodes' packets are naturally dropped less than
+// 1% of the time"), all of which are parameters here.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "net/packet.h"
+#include "sim/process.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/vec2.h"
+
+namespace tibfit::net {
+
+/// Channel loss/delay tunables.
+struct ChannelParams {
+    double drop_probability = 0.01;  ///< per-packet natural loss
+    double base_latency = 1e-4;      ///< fixed per-hop latency (seconds)
+    double propagation_speed = 3e4;  ///< units per second
+    /// MAC contention model: how long a packet occupies a receiver's
+    /// radio. Two receptions at one receiver overlapping in time collide
+    /// and BOTH are lost (the ns-2 runs the paper used model contention at
+    /// the MAC; this is the coarse equivalent). 0 disables collisions.
+    double airtime = 0.0;
+};
+
+/// Single shared medium; all attached processes hear broadcasts within
+/// their radio range of the sender.
+class Channel {
+  public:
+    Channel(sim::Simulator& sim, util::Rng rng, ChannelParams params = {});
+
+    /// Attaches a process at a position with a radio range. A process must
+    /// be attached before it can send or receive; re-attaching updates
+    /// position/range.
+    void attach(sim::Process& process, const util::Vec2& position, double radio_range);
+
+    /// Removes a process from the medium (failed / departed node).
+    void detach(sim::ProcessId id);
+
+    /// Moves an attached process (mobile networks).
+    void set_position(sim::ProcessId id, const util::Vec2& position);
+
+    /// Position of an attached process.
+    util::Vec2 position(sim::ProcessId id) const;
+
+    /// Overrides the natural loss rate for packets sent *by* this process.
+    void set_drop_probability(sim::ProcessId id, double p);
+
+    /// Registers `monitor` as a promiscuous listener on `target`: it
+    /// receives copies of unicast packets sent to or by `target` (shadow
+    /// cluster heads "listen in to the communication going in and out of
+    /// the CH", Section 3.4). Each copy takes an independent loss coin.
+    void add_monitor(sim::ProcessId monitor, sim::ProcessId target);
+
+    /// Removes a monitor registration.
+    void remove_monitor(sim::ProcessId monitor, sim::ProcessId target);
+
+    /// Sends to one destination. The packet is lost if the destination is
+    /// detached, out of the sender's radio range, or the loss coin fires.
+    /// Returns true if delivery was scheduled.
+    bool unicast(Packet packet);
+
+    /// Sends to every other attached process within the sender's radio
+    /// range, with an independent loss coin per receiver. Returns the
+    /// number of deliveries scheduled.
+    std::size_t broadcast(Packet packet);
+
+    // Telemetry.
+    std::size_t delivered() const { return delivered_; }
+    std::size_t dropped() const { return dropped_; }
+    std::size_t out_of_range() const { return out_of_range_; }
+    std::size_t collisions() const { return collisions_; }
+
+  private:
+    /// One in-flight reception at an endpoint (collision model).
+    struct Reception {
+        double start;
+        double end;
+        sim::Timer timer;  ///< inert for jam markers of already-lost packets
+    };
+
+    struct Endpoint {
+        sim::Process* process;
+        util::Vec2 position;
+        double range;
+        double drop_override = -1.0;  // < 0 means "use params_"
+        std::vector<Reception> in_flight;
+    };
+
+    double sender_drop_probability(const Endpoint& sender) const;
+    void deliver(Endpoint& to, Packet packet, double dist);
+    void snoop(const Packet& packet, const Endpoint& src);
+
+    sim::Simulator* sim_;
+    util::Rng rng_;
+    ChannelParams params_;
+    std::unordered_map<sim::ProcessId, Endpoint> endpoints_;
+    /// target -> monitors listening on it
+    std::unordered_map<sim::ProcessId, std::vector<sim::ProcessId>> monitors_;
+    std::size_t delivered_ = 0;
+    std::size_t dropped_ = 0;
+    std::size_t out_of_range_ = 0;
+    std::size_t collisions_ = 0;
+};
+
+}  // namespace tibfit::net

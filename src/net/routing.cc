@@ -1,0 +1,98 @@
+#include "net/routing.h"
+
+#include <deque>
+#include <limits>
+
+namespace tibfit::net {
+
+namespace {
+constexpr std::size_t kUnreachable = std::numeric_limits<std::size_t>::max();
+}
+
+RoutingTable::RoutingTable(std::vector<RouterEntry> entries) {
+    rebuild(std::move(entries));
+}
+
+void RoutingTable::rebuild(std::vector<RouterEntry> entries) {
+    entries_ = std::move(entries);
+    index_.clear();
+    memo_.clear();
+    adjacency_.assign(entries_.size(), {});
+    for (std::size_t i = 0; i < entries_.size(); ++i) index_[entries_[i].id] = i;
+    for (std::size_t u = 0; u < entries_.size(); ++u) {
+        const double r2 = entries_[u].range * entries_[u].range;
+        for (std::size_t v = 0; v < entries_.size(); ++v) {
+            if (u == v) continue;
+            if (util::distance2(entries_[u].position, entries_[v].position) <= r2) {
+                adjacency_[u].push_back(v);
+            }
+        }
+    }
+}
+
+const RoutingTable::Routes& RoutingTable::routes_to(std::size_t dst_index) const {
+    auto it = memo_.find(dst_index);
+    if (it != memo_.end()) return it->second;
+
+    // BFS over *reverse* edges from the destination: dist[u] is u's hop
+    // count to dst, next[u] the first hop on a shortest path. Reverse
+    // edges matter when ranges are asymmetric (u hears v but not vice
+    // versa).
+    Routes r;
+    r.next.assign(entries_.size(), kUnreachable);
+    r.dist.assign(entries_.size(), kUnreachable);
+    r.dist[dst_index] = 0;
+    r.next[dst_index] = dst_index;
+
+    std::deque<std::size_t> frontier{dst_index};
+    while (!frontier.empty()) {
+        const std::size_t v = frontier.front();
+        frontier.pop_front();
+        // Predecessors: every u with an edge u -> v.
+        for (std::size_t u = 0; u < entries_.size(); ++u) {
+            if (r.dist[u] != kUnreachable) continue;
+            bool edge = false;
+            for (std::size_t w : adjacency_[u]) {
+                if (w == v) {
+                    edge = true;
+                    break;
+                }
+            }
+            if (!edge) continue;
+            r.dist[u] = r.dist[v] + 1;
+            r.next[u] = v;
+            frontier.push_back(u);
+        }
+    }
+    return memo_.emplace(dst_index, std::move(r)).first->second;
+}
+
+sim::ProcessId RoutingTable::next_hop(sim::ProcessId from, sim::ProcessId to) const {
+    auto fi = index_.find(from);
+    auto ti = index_.find(to);
+    if (fi == index_.end() || ti == index_.end()) return sim::kNoProcess;
+    const Routes& r = routes_to(ti->second);
+    const std::size_t nh = r.next[fi->second];
+    return nh == kUnreachable ? sim::kNoProcess : entries_[nh].id;
+}
+
+std::size_t RoutingTable::hops(sim::ProcessId from, sim::ProcessId to) const {
+    auto fi = index_.find(from);
+    auto ti = index_.find(to);
+    if (fi == index_.end() || ti == index_.end()) return kUnreachable;
+    return routes_to(ti->second).dist[fi->second];
+}
+
+bool RoutingTable::reachable(sim::ProcessId from, sim::ProcessId to) const {
+    return hops(from, to) != kUnreachable;
+}
+
+std::vector<sim::ProcessId> RoutingTable::neighbours(sim::ProcessId id) const {
+    auto it = index_.find(id);
+    std::vector<sim::ProcessId> out;
+    if (it == index_.end()) return out;
+    for (std::size_t v : adjacency_[it->second]) out.push_back(entries_[v].id);
+    return out;
+}
+
+}  // namespace tibfit::net

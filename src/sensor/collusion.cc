@@ -1,0 +1,61 @@
+#include "sensor/collusion.h"
+
+namespace tibfit::sensor {
+
+const CollusionChannel::Decision& CollusionChannel::decide_event(
+    std::uint64_t event_id, const util::Vec2& true_location) {
+    auto it = event_memo_.find(event_id);
+    if (it != event_memo_.end()) return it->second;
+
+    Decision d;
+    const double drop = binary_mode_ ? params_.missed_alarm_rate : params_.faulty_drop_rate;
+    d.drop = rng_.chance(drop);
+    d.location = true_location + rng_.gaussian_offset(params_.faulty_sigma);
+    return event_memo_.emplace(event_id, d).first->second;
+}
+
+const CollusionChannel::QuietDecision& CollusionChannel::decide_quiet(
+    std::uint64_t window_id, const util::Vec2& anchor, double sensing_radius) {
+    auto it = quiet_memo_.find(window_id);
+    if (it != quiet_memo_.end()) return it->second;
+
+    QuietDecision d;
+    d.false_alarm = rng_.chance(params_.false_alarm_rate);
+    const double r = rng_.uniform(0.0, sensing_radius);
+    const double theta = rng_.uniform(0.0, 6.283185307179586);
+    d.location = anchor + util::Vec2::from_polar(r, theta);
+    return quiet_memo_.emplace(window_id, d).first->second;
+}
+
+Level2Fault::Level2Fault(FaultParams params, bool binary_mode,
+                         std::shared_ptr<CollusionChannel> channel)
+    : Level1Fault(params, binary_mode), channel_(std::move(channel)) {}
+
+SenseAction Level2Fault::on_event(const SenseContext& ctx, util::Rng& rng) {
+    if (update_hysteresis(ctx.tracked_ti)) return honest_.on_event(ctx, rng);
+    const auto& d = channel_->decide_event(ctx.event_id, ctx.true_location);
+    if (d.drop) return {};
+    SenseAction a;
+    a.report = true;
+    a.positive = true;
+    a.location = d.location;
+    if (params_.collusion_jitter > 0.0) {
+        // Adaptive variant: break the exact-echo fingerprint with a small
+        // per-node perturbation of the agreed location.
+        *a.location += rng.gaussian_offset(params_.collusion_jitter);
+    }
+    return a;
+}
+
+SenseAction Level2Fault::on_quiet(const SenseContext& ctx, util::Rng& rng) {
+    if (update_hysteresis(ctx.tracked_ti)) return honest_.on_quiet(ctx, rng);
+    const auto& d = channel_->decide_quiet(ctx.event_id, ctx.node_position, ctx.sensing_radius);
+    if (!d.false_alarm) return {};
+    SenseAction a;
+    a.report = true;
+    a.positive = true;
+    a.location = d.location;
+    return a;
+}
+
+}  // namespace tibfit::sensor

@@ -1,0 +1,78 @@
+// Section 2.1 — the level-2 adversary's side channel.
+//
+// Colluding nodes "are assumed to be connected in a way that is
+// undetectable by the reliable nodes in the network": for each event they
+// agree on one shared action — everyone reports the same fabricated
+// location, or everyone stays silent. The channel memoizes one decision
+// per event id so every colluder, asked at any time, sees the same answer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "sensor/fault_model.h"
+#include "util/rng.h"
+#include "util/vec2.h"
+
+namespace tibfit::sensor {
+
+/// Shared coordination state for one colluding group.
+class CollusionChannel {
+  public:
+    CollusionChannel(util::Rng rng, FaultParams params, bool binary_mode)
+        : rng_(rng), params_(params), binary_mode_(binary_mode) {}
+
+    /// One agreed action for a real event.
+    struct Decision {
+        bool drop = false;        ///< everyone stays silent
+        util::Vec2 location;      ///< otherwise: the one location everyone reports
+    };
+
+    /// One agreed action for a quiet window.
+    struct QuietDecision {
+        bool false_alarm = false;
+        util::Vec2 location;  ///< the shared fabricated location
+    };
+
+    /// The group's decision for event `event_id` (memoized on first call).
+    /// The fabricated location is the true location plus a single shared
+    /// N(0, faulty_sigma) draw — the same error model as level 0/1, but
+    /// perfectly correlated across colluders.
+    const Decision& decide_event(std::uint64_t event_id, const util::Vec2& true_location);
+
+    /// The group's decision for quiet window `window_id` (memoized).
+    /// `anchor` seeds where the fabricated event is placed.
+    const QuietDecision& decide_quiet(std::uint64_t window_id, const util::Vec2& anchor,
+                                      double sensing_radius);
+
+    /// Number of distinct events decided so far.
+    std::size_t events_decided() const { return event_memo_.size(); }
+
+  private:
+    util::Rng rng_;
+    FaultParams params_;
+    bool binary_mode_;
+    std::unordered_map<std::uint64_t, Decision> event_memo_;
+    std::unordered_map<std::uint64_t, QuietDecision> quiet_memo_;
+};
+
+/// Level 2: a level-1 node whose lies are coordinated by a shared
+/// CollusionChannel. Hysteresis still applies per node: a colluder in
+/// rehabilitation behaves correctly and ignores the group decision.
+class Level2Fault : public Level1Fault {
+  public:
+    Level2Fault(FaultParams params, bool binary_mode,
+                std::shared_ptr<CollusionChannel> channel);
+
+    SenseAction on_event(const SenseContext& ctx, util::Rng& rng) override;
+    SenseAction on_quiet(const SenseContext& ctx, util::Rng& rng) override;
+    NodeClass node_class() const override { return NodeClass::Level2; }
+
+    const CollusionChannel& channel() const { return *channel_; }
+
+  private:
+    std::shared_ptr<CollusionChannel> channel_;
+};
+
+}  // namespace tibfit::sensor

@@ -1,0 +1,91 @@
+#include "sensor/event_generator.h"
+
+#include <stdexcept>
+
+namespace tibfit::sensor {
+
+EventGenerator::EventGenerator(sim::Simulator& sim, util::Rng rng, double field_w,
+                               double field_h)
+    : sim_(&sim), rng_(rng), field_w_(field_w), field_h_(field_h) {
+    if (!(field_w > 0.0) || !(field_h > 0.0)) {
+        throw std::invalid_argument("EventGenerator: field dimensions must be > 0");
+    }
+}
+
+util::Vec2 EventGenerator::draw_location() const { return rng_.point_in_rect(field_w_, field_h_); }
+
+void EventGenerator::schedule_events(std::size_t count, double interval, double start,
+                                     std::size_t burst, double min_separation) {
+    if (burst == 0) throw std::invalid_argument("EventGenerator: burst must be >= 1");
+    for (std::size_t i = 0; i < count; ++i) {
+        const double at = start + interval * static_cast<double>(i);
+        // Draw the burst's locations now (deterministic order), enforcing
+        // pairwise separation by rejection sampling.
+        std::vector<util::Vec2> locs;
+        for (std::size_t b = 0; b < burst; ++b) {
+            util::Vec2 loc;
+            for (int attempt = 0;; ++attempt) {
+                loc = draw_location();
+                bool ok = true;
+                for (const auto& other : locs) {
+                    if (util::distance(loc, other) < min_separation) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if (ok) break;
+                if (attempt > 1000) {
+                    throw std::runtime_error(
+                        "EventGenerator: cannot satisfy min_separation (field too small?)");
+                }
+            }
+            locs.push_back(loc);
+        }
+        for (const auto& loc : locs) {
+            sim_->schedule_at(at, [this, loc] { fire_event(loc); });
+            ++scheduled_;
+        }
+    }
+}
+
+void EventGenerator::schedule_quiet_windows(std::size_t count, double interval, double start,
+                                            double spread) {
+    for (std::size_t i = 0; i < count; ++i) {
+        const double at = start + interval * static_cast<double>(i);
+        sim_->schedule_at(at, [this, spread] { fire_quiet(spread); });
+    }
+}
+
+void EventGenerator::fire_event(const util::Vec2& location) {
+    GeneratedEvent ev;
+    ev.id = next_id_++;
+    ev.time = sim_->now();
+    ev.location = location;
+    for (SensorNode* n : nodes_) {
+        if (util::distance(n->position(), location) <= n->sensing_radius()) {
+            ev.event_neighbours.push_back(n->id());
+        }
+    }
+    history_.push_back(ev);
+    if (event_cb_) event_cb_(history_.back());
+    for (SensorNode* n : nodes_) {
+        if (util::distance(n->position(), location) <= n->sensing_radius()) {
+            n->on_event(ev.id, location);
+        }
+    }
+}
+
+void EventGenerator::fire_quiet(double spread) {
+    const std::uint64_t id = next_quiet_id_++;
+    if (quiet_cb_) quiet_cb_(id, sim_->now());
+    for (SensorNode* n : nodes_) {
+        if (spread > 0.0) {
+            const double jitter = rng_.uniform(0.0, spread);
+            sim_->schedule(jitter, [n, id] { n->on_quiet_window(id); });
+        } else {
+            n->on_quiet_window(id);
+        }
+    }
+}
+
+}  // namespace tibfit::sensor

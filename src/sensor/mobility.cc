@@ -1,0 +1,60 @@
+#include "sensor/mobility.h"
+
+#include <stdexcept>
+
+namespace tibfit::sensor {
+
+MobilityManager::MobilityManager(sim::Simulator& sim, util::Rng rng, MobilityParams params)
+    : sim_(&sim), rng_(rng), params_(params) {
+    if (!(params.tick > 0.0)) throw std::invalid_argument("MobilityManager: tick <= 0");
+    if (params.speed_min < 0.0 || params.speed_max < params.speed_min) {
+        throw std::invalid_argument("MobilityManager: bad speed range");
+    }
+}
+
+void MobilityManager::pick_waypoint(Entry& e) {
+    e.destination = rng_.point_in_rect(params_.field_w, params_.field_h);
+    e.speed = rng_.uniform(params_.speed_min, params_.speed_max);
+}
+
+void MobilityManager::manage(SensorNode& node, net::Channel& channel) {
+    Entry e;
+    e.node = &node;
+    e.channel = &channel;
+    e.pause_until = 0.0;
+    pick_waypoint(e);
+    entries_.push_back(e);
+}
+
+void MobilityManager::start(double until) {
+    until_ = until;
+    sim_->schedule(params_.tick, [this] { tick(); });
+}
+
+void MobilityManager::tick() {
+    const double now = sim_->now();
+    for (auto& e : entries_) {
+        if (now < e.pause_until) continue;
+        const util::Vec2 pos = e.node->position();
+        const util::Vec2 to_dest = e.destination - pos;
+        const double dist = to_dest.norm();
+        const double step = e.speed * params_.tick;
+        util::Vec2 next;
+        if (dist <= step) {
+            next = e.destination;
+            e.pause_until = now + params_.pause;
+            pick_waypoint(e);
+            ++legs_;
+        } else {
+            next = pos + to_dest * (step / dist);
+        }
+        e.node->set_position(next);
+        e.channel->set_position(e.node->id(), next);
+    }
+    if (tick_hook_) tick_hook_();
+    if (now + params_.tick <= until_) {
+        sim_->schedule(params_.tick, [this] { tick(); });
+    }
+}
+
+}  // namespace tibfit::sensor

@@ -1,0 +1,76 @@
+// Node mobility — Section 2 allows it explicitly: "The network could be
+// stationary or mobile, as long as it is possible for the CH to estimate
+// the positions of its cluster nodes during decision making."
+//
+// Random-waypoint model: each managed node repeatedly picks a uniform
+// destination in the field, travels there at a per-leg uniform speed, and
+// pauses before the next leg. A periodic tick advances every node, pushes
+// the new position into the node and the radio channel, and fires a
+// topology hook so cluster heads can refresh their position estimates
+// (LEACH-style periodic topology reports in a real deployment).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/channel.h"
+#include "sensor/sensor_node.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace tibfit::sensor {
+
+/// Random-waypoint tunables.
+struct MobilityParams {
+    double speed_min = 0.5;  ///< units per second
+    double speed_max = 1.5;
+    double pause = 2.0;      ///< seconds at each waypoint
+    double tick = 0.5;       ///< position-update granularity (seconds)
+    double field_w = 100.0;
+    double field_h = 100.0;
+};
+
+/// Drives random-waypoint motion for a set of sensor nodes.
+class MobilityManager {
+  public:
+    MobilityManager(sim::Simulator& sim, util::Rng rng, MobilityParams params);
+
+    /// Registers a node; its channel position is kept in sync. Call before
+    /// start().
+    void manage(SensorNode& node, net::Channel& channel);
+
+    /// Invoked after every tick once all positions moved — refresh CH
+    /// topologies / routing here.
+    void on_tick(std::function<void()> hook) { tick_hook_ = std::move(hook); }
+
+    /// Starts ticking until `until` (simulation seconds).
+    void start(double until);
+
+    /// Number of managed nodes.
+    std::size_t managed() const { return entries_.size(); }
+
+    /// Total waypoint legs completed across all nodes (telemetry).
+    std::size_t legs_completed() const { return legs_; }
+
+  private:
+    struct Entry {
+        SensorNode* node;
+        net::Channel* channel;
+        util::Vec2 destination;
+        double speed;
+        double pause_until;
+    };
+
+    void tick();
+    void pick_waypoint(Entry& e);
+
+    sim::Simulator* sim_;
+    util::Rng rng_;
+    MobilityParams params_;
+    std::vector<Entry> entries_;
+    std::function<void()> tick_hook_;
+    double until_ = 0.0;
+    std::size_t legs_ = 0;
+};
+
+}  // namespace tibfit::sensor

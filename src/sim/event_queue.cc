@@ -1,0 +1,53 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tibfit::sim {
+
+EventId EventQueue::push(Time at, std::function<void()> action) {
+    const EventId id = actions_.size();
+    actions_.push_back(std::move(action));
+    dead_.push_back(false);
+    heap_.push_back(Entry{at, next_seq_++, id});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    ++live_;
+    return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+    if (id >= dead_.size() || dead_[id] || !actions_[id]) return false;
+    dead_[id] = true;
+    actions_[id] = nullptr;
+    --live_;
+    return true;
+}
+
+void EventQueue::drop_cancelled_top() {
+    while (!heap_.empty() && dead_[heap_.front().id]) {
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+        heap_.pop_back();
+    }
+}
+
+Time EventQueue::next_time() const {
+    auto* self = const_cast<EventQueue*>(this);
+    self->drop_cancelled_top();
+    if (heap_.empty()) throw std::logic_error("EventQueue::next_time on empty queue");
+    return heap_.front().at;
+}
+
+std::pair<Time, std::function<void()>> EventQueue::pop() {
+    drop_cancelled_top();
+    if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const Entry e = heap_.back();
+    heap_.pop_back();
+    auto action = std::move(actions_[e.id]);
+    actions_[e.id] = nullptr;
+    dead_[e.id] = true;
+    --live_;
+    return {e.at, std::move(action)};
+}
+
+}  // namespace tibfit::sim

@@ -1,0 +1,64 @@
+// Future event list for the discrete-event engine: a binary heap keyed by
+// (time, sequence number) so that events scheduled for the same instant
+// fire in scheduling order — a determinism requirement the experiments rely
+// on for reproducibility.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace tibfit::sim {
+
+/// Simulation time in abstract seconds.
+using Time = double;
+
+/// Opaque handle identifying a scheduled event; used for cancellation.
+using EventId = std::uint64_t;
+
+/// Min-heap of (time, seq) -> action with lazy cancellation.
+class EventQueue {
+  public:
+    /// Schedules `action` at absolute time `at`; returns a cancellation id.
+    EventId push(Time at, std::function<void()> action);
+
+    /// Marks an event cancelled. Cancelled events are skipped on pop.
+    /// Returns false if the id was already executed, cancelled, or unknown.
+    bool cancel(EventId id);
+
+    /// True if no runnable (non-cancelled) events remain.
+    bool empty() const { return live_ == 0; }
+
+    /// Number of runnable events.
+    std::size_t size() const { return live_; }
+
+    /// Time of the earliest runnable event; requires !empty().
+    Time next_time() const;
+
+    /// Pops and returns the earliest runnable event (time + action);
+    /// requires !empty().
+    std::pair<Time, std::function<void()>> pop();
+
+  private:
+    struct Entry {
+        Time at;
+        std::uint64_t seq;
+        EventId id;
+        // Ordering for a max-heap inverted into a min-heap via std::greater
+        // semantics; earlier time wins, then lower sequence.
+        bool operator>(const Entry& o) const {
+            if (at != o.at) return at > o.at;
+            return seq > o.seq;
+        }
+    };
+
+    void drop_cancelled_top();
+
+    std::vector<Entry> heap_;
+    std::vector<std::function<void()>> actions_;  // indexed by id
+    std::vector<bool> dead_;                      // indexed by id
+    std::uint64_t next_seq_ = 0;
+    std::size_t live_ = 0;
+};
+
+}  // namespace tibfit::sim

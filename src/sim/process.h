@@ -1,0 +1,43 @@
+// Actor base class: anything that lives on the simulated network (sensor
+// node, cluster head, base station, event generator) is a Process with a
+// stable id and a hook for receiving packets.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulator.h"
+
+namespace tibfit::net {
+struct Packet;
+}
+
+namespace tibfit::sim {
+
+/// Stable identifier of a process on the network (node id, CH id, ...).
+using ProcessId = std::uint32_t;
+
+/// Sentinel for "no process".
+inline constexpr ProcessId kNoProcess = static_cast<ProcessId>(-1);
+
+/// Base class for simulated actors. Subclasses receive packets via
+/// handle_packet and schedule their own timers through sim().
+class Process {
+  public:
+    Process(Simulator& sim, ProcessId id) : sim_(&sim), id_(id) {}
+    virtual ~Process() = default;
+
+    Process(const Process&) = delete;
+    Process& operator=(const Process&) = delete;
+
+    ProcessId id() const { return id_; }
+    Simulator& sim() const { return *sim_; }
+
+    /// Delivery hook invoked by the channel when a packet arrives.
+    virtual void handle_packet(const net::Packet& packet) = 0;
+
+  private:
+    Simulator* sim_;
+    ProcessId id_;
+};
+
+}  // namespace tibfit::sim

@@ -1,0 +1,50 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+
+namespace tibfit::sim {
+
+Timer Simulator::schedule(Time delay, std::function<void()> action) {
+    if (delay < 0.0) throw std::invalid_argument("Simulator::schedule: negative delay");
+    return schedule_at(now_ + delay, std::move(action));
+}
+
+Timer Simulator::schedule_at(Time at, std::function<void()> action) {
+    if (at < now_) throw std::invalid_argument("Simulator::schedule_at: time in the past");
+    if (!action) throw std::invalid_argument("Simulator::schedule_at: empty action");
+    const EventId id = queue_.push(at, std::move(action));
+    return Timer(id, true);
+}
+
+bool Simulator::cancel(Timer& timer) {
+    if (!timer.armed_) return false;
+    timer.armed_ = false;
+    return queue_.cancel(timer.id_);
+}
+
+bool Simulator::step() {
+    if (queue_.empty()) return false;
+    auto [at, action] = queue_.pop();
+    now_ = at;
+    ++executed_;
+    action();
+    return true;
+}
+
+std::size_t Simulator::run() {
+    std::size_t n = 0;
+    while (step()) ++n;
+    return n;
+}
+
+std::size_t Simulator::run_until(Time deadline) {
+    std::size_t n = 0;
+    while (!queue_.empty() && queue_.next_time() <= deadline) {
+        step();
+        ++n;
+    }
+    if (now_ < deadline) now_ = deadline;
+    return n;
+}
+
+}  // namespace tibfit::sim

@@ -1,0 +1,74 @@
+// The discrete-event simulator: virtual clock + future event list.
+// Replaces ns-2 as the scheduling substrate (see DESIGN.md §2).
+#pragma once
+
+#include <functional>
+
+#include "sim/event_queue.h"
+
+namespace tibfit::sim {
+
+/// A cancellable timer handle. Default-constructed handles are inert.
+class Timer {
+  public:
+    Timer() = default;
+
+    bool armed() const { return armed_; }
+
+  private:
+    friend class Simulator;
+    Timer(EventId id, bool armed) : id_(id), armed_(armed) {}
+    EventId id_ = 0;
+    bool armed_ = false;
+};
+
+/// Single-threaded virtual-time event scheduler.
+///
+/// Invariants: time never decreases; actions scheduled for the same instant
+/// run in the order they were scheduled; an action may schedule further
+/// actions at or after the current time.
+class Simulator {
+  public:
+    Simulator() = default;
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    /// Current virtual time.
+    Time now() const { return now_; }
+
+    /// Schedules `action` after `delay` (>= 0) from now.
+    Timer schedule(Time delay, std::function<void()> action);
+
+    /// Schedules `action` at absolute time `at` (>= now()).
+    Timer schedule_at(Time at, std::function<void()> action);
+
+    /// Cancels a pending timer. Returns false if it already fired or was
+    /// cancelled. The handle is disarmed either way.
+    bool cancel(Timer& timer);
+
+    /// Runs events until the queue is empty. Returns number of events run.
+    std::size_t run();
+
+    /// Runs events with time <= deadline; the clock ends at
+    /// max(now, deadline) if drained, else at the last executed event.
+    std::size_t run_until(Time deadline);
+
+    /// Runs at most one event. Returns false if none were runnable.
+    bool step();
+
+    /// True if no pending events remain.
+    bool idle() const { return queue_.empty(); }
+
+    /// Number of pending events.
+    std::size_t pending() const { return queue_.size(); }
+
+    /// Total events executed since construction.
+    std::size_t executed() const { return executed_; }
+
+  private:
+    EventQueue queue_;
+    Time now_ = 0.0;
+    std::size_t executed_ = 0;
+};
+
+}  // namespace tibfit::sim

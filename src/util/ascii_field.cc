@@ -1,0 +1,65 @@
+#include "util/ascii_field.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tibfit::util {
+
+AsciiField::AsciiField(double field_w, double field_h, std::size_t cols, std::size_t rows)
+    : field_w_(field_w), field_h_(field_h), cols_(cols), rows_(rows) {
+    if (!(field_w > 0.0) || !(field_h > 0.0) || cols == 0 || rows == 0) {
+        throw std::invalid_argument("AsciiField: bad dimensions");
+    }
+    grid_.assign(rows_, std::string(cols_, ' '));
+}
+
+std::size_t AsciiField::col_of(double x) const {
+    auto c = static_cast<long>(std::floor(x / field_w_ * static_cast<double>(cols_)));
+    return static_cast<std::size_t>(std::clamp<long>(c, 0, static_cast<long>(cols_) - 1));
+}
+
+std::size_t AsciiField::row_of(double y) const {
+    // Row 0 is the top of the frame = maximum y.
+    auto r = static_cast<long>(std::floor(y / field_h_ * static_cast<double>(rows_)));
+    r = static_cast<long>(rows_) - 1 - std::clamp<long>(r, 0, static_cast<long>(rows_) - 1);
+    return static_cast<std::size_t>(r);
+}
+
+void AsciiField::mark(const Vec2& p, char glyph) { grid_[row_of(p.y)][col_of(p.x)] = glyph; }
+
+void AsciiField::mark_all(const std::vector<Vec2>& points, char glyph) {
+    for (const auto& p : points) mark(p, glyph);
+}
+
+void AsciiField::circle(const Vec2& c, double r, char glyph) {
+    const int steps = 64;
+    for (int i = 0; i < steps; ++i) {
+        const double theta = 2.0 * M_PI * static_cast<double>(i) / steps;
+        const Vec2 p = c + Vec2::from_polar(r, theta);
+        if (p.x < 0 || p.x >= field_w_ || p.y < 0 || p.y >= field_h_) continue;
+        auto& cell = grid_[row_of(p.y)][col_of(p.x)];
+        if (cell == ' ') cell = glyph;  // circles never overwrite markers
+    }
+}
+
+void AsciiField::legend(char glyph, const std::string& meaning) {
+    legend_.emplace_back(glyph, meaning);
+}
+
+std::string AsciiField::to_string() const {
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+void AsciiField::print(std::ostream& os) const {
+    os << '+' << std::string(cols_, '-') << "+\n";
+    for (const auto& row : grid_) os << '|' << row << "|\n";
+    os << '+' << std::string(cols_, '-') << "+\n";
+    for (const auto& [g, meaning] : legend_) os << "  " << g << "  " << meaning << '\n';
+}
+
+}  // namespace tibfit::util

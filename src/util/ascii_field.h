@@ -1,0 +1,51 @@
+// ASCII rendering of the sensor field — lets examples show, in a terminal,
+// where the nodes sit, which are compromised/isolated, where an event
+// really happened and where the cluster head placed it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/vec2.h"
+
+namespace tibfit::util {
+
+/// A character-cell canvas mapping field coordinates to text.
+class AsciiField {
+  public:
+    /// Renders [0, field_w) x [0, field_h) onto a cols x rows grid.
+    AsciiField(double field_w, double field_h, std::size_t cols = 50, std::size_t rows = 25);
+
+    /// Places `glyph` at the cell containing `p` (clamped to the border).
+    /// Later marks overwrite earlier ones.
+    void mark(const Vec2& p, char glyph);
+
+    /// Marks every point of a polyline/point set.
+    void mark_all(const std::vector<Vec2>& points, char glyph);
+
+    /// Draws the circle outline of radius r around c (approximate).
+    void circle(const Vec2& c, double r, char glyph = '.');
+
+    /// Adds a "glyph meaning" line printed under the frame.
+    void legend(char glyph, const std::string& meaning);
+
+    /// Writes the framed canvas plus legend.
+    void print(std::ostream& os) const;
+
+    /// The canvas as a string (testing).
+    std::string to_string() const;
+
+  private:
+    std::size_t col_of(double x) const;
+    std::size_t row_of(double y) const;
+
+    double field_w_;
+    double field_h_;
+    std::size_t cols_;
+    std::size_t rows_;
+    std::vector<std::string> grid_;  ///< rows_ strings of cols_ chars
+    std::vector<std::pair<char, std::string>> legend_;
+};
+
+}  // namespace tibfit::util

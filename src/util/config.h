@@ -1,0 +1,62 @@
+// Typed key=value parameter sets. Experiments are specified as Config
+// objects; benches construct them in code and examples can also parse them
+// from command-line `key=value` arguments.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace tibfit::util {
+
+/// A flat bag of named parameters with typed accessors.
+///
+/// Lookups of missing keys with a default return the default; lookups via
+/// `require_*` throw std::out_of_range, which turns configuration typos into
+/// immediate failures instead of silently simulating the wrong system.
+class Config {
+  public:
+    using Value = std::variant<bool, long, double, std::string>;
+
+    Config() = default;
+
+    Config& set(const std::string& key, bool v);
+    Config& set(const std::string& key, long v);
+    Config& set(const std::string& key, int v) { return set(key, static_cast<long>(v)); }
+    Config& set(const std::string& key, double v);
+    Config& set(const std::string& key, const char* v);
+    Config& set(const std::string& key, std::string v);
+
+    bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+    bool get_bool(const std::string& key, bool dflt) const;
+    long get_int(const std::string& key, long dflt) const;
+    double get_double(const std::string& key, double dflt) const;
+    std::string get_string(const std::string& key, const std::string& dflt) const;
+
+    bool require_bool(const std::string& key) const;
+    long require_int(const std::string& key) const;
+    double require_double(const std::string& key) const;
+    std::string require_string(const std::string& key) const;
+
+    /// Parses a `key=value` token; the value is interpreted as bool
+    /// ("true"/"false"), integer, double, or string — first parse that
+    /// consumes the whole token wins. Returns false if the token has no '='.
+    bool parse_assignment(const std::string& token);
+
+    /// Parses argv tokens of the form key=value; ignores other tokens.
+    void parse_args(int argc, char** argv);
+
+    /// Keys in lexicographic order — used by benches to print Table 1/2.
+    std::vector<std::string> keys() const;
+    /// Renders a value for display.
+    std::string to_string(const std::string& key) const;
+
+  private:
+    const Value* find(const std::string& key) const;
+    std::map<std::string, Value> values_;
+};
+
+}  // namespace tibfit::util

@@ -1,0 +1,73 @@
+#include "util/geometry.h"
+
+#include <stdexcept>
+
+namespace tibfit::util {
+
+bool circles_overlap(const Circle& a, const Circle& b) {
+    const double r = a.radius + b.radius;
+    return distance2(a.center, b.center) <= r * r;
+}
+
+Vec2 centroid(std::span<const Vec2> points) {
+    if (points.empty()) return {};
+    Vec2 sum;
+    for (const auto& p : points) sum += p;
+    return sum / static_cast<double>(points.size());
+}
+
+Vec2 weighted_centroid(std::span<const Vec2> points, std::span<const double> weights) {
+    if (points.size() != weights.size()) {
+        throw std::invalid_argument("weighted_centroid: size mismatch");
+    }
+    Vec2 sum;
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        sum += points[i] * weights[i];
+        total += weights[i];
+    }
+    if (total <= 0.0) throw std::invalid_argument("weighted_centroid: non-positive total weight");
+    return sum / total;
+}
+
+std::pair<std::size_t, std::size_t> farthest_pair(std::span<const Vec2> points) {
+    if (points.size() < 2) throw std::invalid_argument("farthest_pair: need >= 2 points");
+    std::pair<std::size_t, std::size_t> best{0, 1};
+    double best_d2 = distance2(points[0], points[1]);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        for (std::size_t j = i + 1; j < points.size(); ++j) {
+            const double d2 = distance2(points[i], points[j]);
+            if (d2 > best_d2) {
+                best_d2 = d2;
+                best = {i, j};
+            }
+        }
+    }
+    return best;
+}
+
+std::size_t nearest_index(std::span<const Vec2> points, const Vec2& query) {
+    if (points.empty()) throw std::invalid_argument("nearest_index: empty span");
+    std::size_t best = 0;
+    double best_d2 = distance2(points[0], query);
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        const double d2 = distance2(points[i], query);
+        if (d2 < best_d2) {
+            best_d2 = d2;
+            best = i;
+        }
+    }
+    return best;
+}
+
+std::vector<std::size_t> indices_within(std::span<const Vec2> points, const Vec2& center,
+                                        double radius) {
+    std::vector<std::size_t> out;
+    const double r2 = radius * radius;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (distance2(points[i], center) <= r2) out.push_back(i);
+    }
+    return out;
+}
+
+}  // namespace tibfit::util

@@ -1,0 +1,43 @@
+// Geometry helpers shared by the event clusterer (Section 3.2) and the
+// concurrent-event circle manager (Section 3.3).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/vec2.h"
+
+namespace tibfit::util {
+
+/// A circle in field coordinates.
+struct Circle {
+    Vec2 center;
+    double radius = 0.0;
+
+    bool contains(const Vec2& p) const {
+        return distance2(center, p) <= radius * radius;
+    }
+};
+
+/// True if the two circles intersect or touch.
+bool circles_overlap(const Circle& a, const Circle& b);
+
+/// Arithmetic centroid of the points; (0,0) for an empty span.
+Vec2 centroid(std::span<const Vec2> points);
+
+/// Weighted average of points (weights need not be normalized; total weight
+/// must be positive).
+Vec2 weighted_centroid(std::span<const Vec2> points, std::span<const double> weights);
+
+/// Indices (i, j) of the farthest pair of points, by exhaustive O(n^2) scan.
+/// Requires at least two points.
+std::pair<std::size_t, std::size_t> farthest_pair(std::span<const Vec2> points);
+
+/// Index of the point nearest to `query`. Requires a non-empty span.
+std::size_t nearest_index(std::span<const Vec2> points, const Vec2& query);
+
+/// All indices of `points` within `radius` of `center`.
+std::vector<std::size_t> indices_within(std::span<const Vec2> points, const Vec2& center,
+                                        double radius);
+
+}  // namespace tibfit::util

@@ -1,0 +1,31 @@
+#include "util/log.h"
+
+#include <iostream>
+
+namespace tibfit::util {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_name(LogLevel l) {
+    switch (l) {
+        case LogLevel::Trace: return "trace";
+        case LogLevel::Debug: return "debug";
+        case LogLevel::Info: return "info";
+        case LogLevel::Warn: return "warn";
+        case LogLevel::Error: return "error";
+        case LogLevel::Off: return "off";
+    }
+    return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& message) {
+    if (level < g_level || message.empty()) return;
+    std::cerr << '[' << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace tibfit::util

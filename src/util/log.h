@@ -1,0 +1,50 @@
+// Minimal levelled logger. Benches run silent (Warn); examples raise the
+// level to narrate protocol activity. Not thread-safe by design — the whole
+// simulator is single-threaded and deterministic.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tibfit::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line "[level] message" to stderr if `level` passes the
+/// threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// Stream-style one-shot logger: emits on destruction.
+class LogStream {
+  public:
+    explicit LogStream(LogLevel level) : level_(level) {}
+    LogStream(const LogStream&) = delete;
+    LogStream& operator=(const LogStream&) = delete;
+    ~LogStream() { log_line(level_, os_.str()); }
+
+    template <typename T>
+    LogStream& operator<<(const T& v) {
+        if (level_ >= log_level()) os_ << v;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream os_;
+};
+
+}  // namespace detail
+
+inline detail::LogStream log_trace() { return detail::LogStream(LogLevel::Trace); }
+inline detail::LogStream log_debug() { return detail::LogStream(LogLevel::Debug); }
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::Info); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::Warn); }
+inline detail::LogStream log_error() { return detail::LogStream(LogLevel::Error); }
+
+}  // namespace tibfit::util

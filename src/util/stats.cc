@@ -1,0 +1,74 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tibfit::util {
+
+void Running::add(double x) {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+}
+
+double Running::variance() const {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Running::stddev() const { return std::sqrt(variance()); }
+
+double Running::ci95_halfwidth() const {
+    if (n_ < 2) return 0.0;
+    return 1.959964 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double Accuracy::wilson95_halfwidth() const {
+    if (total_ == 0) return 0.0;
+    const double z = 1.959964;
+    const double n = static_cast<double>(total_);
+    const double p = value();
+    const double z2 = z * z;
+    return z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / (1.0 + z2 / n);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+    if (!(hi > lo) || bins == 0) {
+        throw std::invalid_argument("Histogram: need hi > lo and bins > 0");
+    }
+    counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+    const double span = hi_ - lo_;
+    auto idx = static_cast<long>(std::floor((x - lo_) / span * static_cast<double>(counts_.size())));
+    idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::quantile(double q) const {
+    if (total_ == 0) return lo_;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto target = static_cast<std::size_t>(std::ceil(q * static_cast<double>(total_)));
+    std::size_t cum = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        cum += counts_[i];
+        if (cum >= target) return bin_lo(i + 1);
+    }
+    return hi_;
+}
+
+}  // namespace tibfit::util

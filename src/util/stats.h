@@ -1,0 +1,75 @@
+// Streaming statistics used by the experiment harness and benches:
+// accuracy counters, Welford mean/variance, confidence intervals, and
+// fixed-bin histograms.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tibfit::util {
+
+/// Welford online mean / variance accumulator.
+class Running {
+  public:
+    void add(double x);
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /// Unbiased sample variance; 0 with fewer than two samples.
+    double variance() const;
+    double stddev() const;
+    /// Half-width of the normal-approximation 95% confidence interval.
+    double ci95_halfwidth() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Success/total ratio counter — the paper's "accuracy" metric.
+class Accuracy {
+  public:
+    void record(bool success) {
+        ++total_;
+        if (success) ++hits_;
+    }
+    std::size_t total() const { return total_; }
+    std::size_t hits() const { return hits_; }
+    /// Fraction correct in [0, 1]; 0 when nothing was recorded.
+    double value() const { return total_ ? static_cast<double>(hits_) / total_ : 0.0; }
+    /// Wilson score interval half-width at 95%, robust near 0/1.
+    double wilson95_halfwidth() const;
+    void reset() { total_ = hits_ = 0; }
+
+  private:
+    std::size_t total_ = 0;
+    std::size_t hits_ = 0;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins.
+class Histogram {
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+    void add(double x);
+    std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+    std::size_t bins() const { return counts_.size(); }
+    std::size_t total() const { return total_; }
+    /// Lower edge of bin i.
+    double bin_lo(std::size_t i) const;
+    /// Smallest x such that at least q of the mass is at or below x
+    /// (bin-resolution approximation).
+    double quantile(double q) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+}  // namespace tibfit::util

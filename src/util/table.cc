@@ -1,0 +1,106 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+namespace tibfit::util {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::header(std::vector<std::string> cells) {
+    header_ = std::move(cells);
+    return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+}
+
+Table& Table::row_values(const std::vector<double>& values, int precision) {
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values) cells.push_back(num(v, precision));
+    return row(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+    std::ostringstream os;
+    os << std::setprecision(precision) << std::fixed << v;
+    std::string s = os.str();
+    // Trim trailing zeros but keep at least one decimal digit.
+    if (s.find('.') != std::string::npos) {
+        while (s.size() > 1 && s.back() == '0') s.pop_back();
+        if (s.back() == '.') s.push_back('0');
+    }
+    return s;
+}
+
+void Table::print(std::ostream& os) const {
+    std::size_t ncols = header_.size();
+    for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+    std::vector<std::size_t> width(ncols, 0);
+    auto widen = [&](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    os << "== " << title_ << " ==\n";
+    auto print_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < ncols; ++i) {
+            const std::string& c = i < cells.size() ? cells[i] : std::string{};
+            os << std::left << std::setw(static_cast<int>(width[i]) + 2) << c;
+        }
+        os << '\n';
+    };
+    if (!header_.empty()) {
+        print_row(header_);
+        std::size_t rule = 0;
+        for (auto w : width) rule += w + 2;
+        os << std::string(rule, '-') << '\n';
+    }
+    for (const auto& r : rows_) print_row(r);
+    os << '\n';
+}
+
+void Table::print_csv(std::ostream& os) const {
+    auto quote = [](const std::string& s) {
+        if (s.find_first_of(",\"\n") == std::string::npos) return s;
+        std::string out = "\"";
+        for (char c : s) {
+            if (c == '"') out += '"';
+            out += c;
+        }
+        out += '"';
+        return out;
+    };
+    auto print_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i) os << ',';
+            os << quote(cells[i]);
+        }
+        os << '\n';
+    };
+    os << "# " << title_ << '\n';
+    if (!header_.empty()) print_row(header_);
+    for (const auto& r : rows_) print_row(r);
+}
+
+void emit(const Table& t, int argc, char** argv) {
+    bool csv = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    }
+    if (csv) {
+        t.print_csv(std::cout);
+    } else {
+        t.print(std::cout);
+    }
+}
+
+}  // namespace tibfit::util

@@ -1,0 +1,48 @@
+// Text table / CSV emitter. Every bench prints the rows of the paper's
+// tables and the series of its figures through this class so the output is
+// uniform and machine-parsable (pass --csv to any bench).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tibfit::util {
+
+/// A column-aligned table with a title, built row by row.
+class Table {
+  public:
+    explicit Table(std::string title);
+
+    /// Sets the header cells. Must be called before the first row.
+    Table& header(std::vector<std::string> cells);
+
+    /// Appends a row of preformatted cells. Row width need not match the
+    /// header (short rows are padded when printing).
+    Table& row(std::vector<std::string> cells);
+
+    /// Convenience: formats doubles with the given precision.
+    Table& row_values(const std::vector<double>& values, int precision = 4);
+
+    std::size_t rows() const { return rows_.size(); }
+    const std::string& title() const { return title_; }
+
+    /// Pretty fixed-width rendering with a rule under the header.
+    void print(std::ostream& os) const;
+    /// RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+    void print_csv(std::ostream& os) const;
+
+    /// Formats a double without trailing-zero noise.
+    static std::string num(double v, int precision = 4);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Shared bench entry helper: prints `t` as CSV if argv contains "--csv",
+/// else pretty-printed, to stdout.
+void emit(const Table& t, int argc, char** argv);
+
+}  // namespace tibfit::util

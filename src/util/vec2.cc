@@ -1,0 +1,11 @@
+#include "util/vec2.h"
+
+#include <ostream>
+
+namespace tibfit::util {
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v) {
+    return os << '(' << v.x << ", " << v.y << ')';
+}
+
+}  // namespace tibfit::util

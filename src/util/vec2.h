@@ -1,0 +1,67 @@
+// 2-D point / vector arithmetic used throughout the simulator: node
+// positions, event locations, report locations and (r, theta) polar offsets.
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+
+namespace tibfit::util {
+
+/// A 2-D point or displacement in field coordinates (units are the paper's
+/// abstract distance units; the sensing radius r_s = 20 units in Section 4).
+struct Vec2 {
+    double x = 0.0;
+    double y = 0.0;
+
+    constexpr Vec2() = default;
+    constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+    constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+    constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+    constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+
+    Vec2& operator+=(const Vec2& o) {
+        x += o.x;
+        y += o.y;
+        return *this;
+    }
+    Vec2& operator-=(const Vec2& o) {
+        x -= o.x;
+        y -= o.y;
+        return *this;
+    }
+    Vec2& operator*=(double s) {
+        x *= s;
+        y *= s;
+        return *this;
+    }
+
+    constexpr bool operator==(const Vec2& o) const { return x == o.x && y == o.y; }
+    constexpr bool operator!=(const Vec2& o) const { return !(*this == o); }
+
+    /// Squared Euclidean norm; prefer for comparisons (avoids sqrt).
+    constexpr double norm2() const { return x * x + y * y; }
+    double norm() const { return std::sqrt(norm2()); }
+
+    /// Angle of this displacement, in radians in (-pi, pi].
+    double angle() const { return std::atan2(y, x); }
+
+    /// Builds a displacement from polar coordinates (r, theta) — the event
+    /// report format of Section 3.2.
+    static Vec2 from_polar(double r, double theta) {
+        return {r * std::cos(theta), r * std::sin(theta)};
+    }
+};
+
+constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+/// Euclidean distance between two points.
+inline double distance(const Vec2& a, const Vec2& b) { return (a - b).norm(); }
+
+/// Squared distance; prefer when only comparing magnitudes.
+constexpr double distance2(const Vec2& a, const Vec2& b) { return (a - b).norm2(); }
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v);
+
+}  // namespace tibfit::util

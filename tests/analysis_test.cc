@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/baseline_model.h"
+#include "analysis/binomial.h"
+#include "analysis/rayleigh.h"
+#include "analysis/ti_dynamics.h"
+
+namespace tibfit::analysis {
+namespace {
+
+TEST(Binomial, LogChoose) {
+    EXPECT_NEAR(std::exp(log_choose(5, 2)), 10.0, 1e-9);
+    EXPECT_NEAR(std::exp(log_choose(10, 0)), 1.0, 1e-9);
+    EXPECT_NEAR(std::exp(log_choose(10, 10)), 1.0, 1e-9);
+    EXPECT_THROW(log_choose(3, 4), std::invalid_argument);
+}
+
+TEST(Binomial, PmfSumsToOne) {
+    for (double p : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+        double sum = 0.0;
+        for (std::uint64_t k = 0; k <= 20; ++k) sum += binomial_pmf(20, k, p);
+        EXPECT_NEAR(sum, 1.0, 1e-12) << "p=" << p;
+    }
+}
+
+TEST(Binomial, PmfKnownValues) {
+    EXPECT_NEAR(binomial_pmf(2, 1, 0.5), 0.5, 1e-12);
+    EXPECT_NEAR(binomial_pmf(10, 5, 0.5), 252.0 / 1024.0, 1e-12);
+    EXPECT_EQ(binomial_pmf(5, 6, 0.5), 0.0);
+    EXPECT_THROW(binomial_pmf(5, 2, 1.5), std::invalid_argument);
+}
+
+TEST(Binomial, CcdfBoundsAndEdges) {
+    EXPECT_NEAR(binomial_ccdf(10, 0, 0.3), 1.0, 1e-12);
+    EXPECT_NEAR(binomial_ccdf(10, 11, 0.3), 0.0, 1e-12);
+    EXPECT_NEAR(binomial_ccdf(4, 2, 0.5), (6 + 4 + 1) / 16.0, 1e-12);
+}
+
+TEST(BaselineModel, PerfectNodesAlwaysSucceedWithNoFaults) {
+    EXPECT_NEAR(baseline_success(10, 0, 1.0, 0.5), 1.0, 1e-12);
+}
+
+TEST(BaselineModel, AllFaultyCoinFlippers) {
+    // 10 fair-coin faulty nodes: success iff >= 6 of 10 report.
+    const double expected = binomial_ccdf(10, 6, 0.5);
+    EXPECT_NEAR(baseline_success(10, 10, 0.99, 0.5), expected, 1e-12);
+}
+
+TEST(BaselineModel, MonotoneDecreasingInFaults) {
+    for (double p : {0.99, 0.95, 0.9, 0.85}) {
+        double prev = 2.0;
+        for (std::uint64_t m = 0; m <= 10; ++m) {
+            const double s = baseline_success(10, m, p, 0.5);
+            EXPECT_LE(s, prev + 1e-12);
+            EXPECT_GE(s, 0.0);
+            EXPECT_LE(s, 1.0);
+            prev = s;
+        }
+    }
+}
+
+TEST(BaselineModel, MonotoneIncreasingInP) {
+    for (std::uint64_t m = 0; m <= 10; ++m) {
+        EXPECT_GE(baseline_success(10, m, 0.99, 0.5) + 1e-12,
+                  baseline_success(10, m, 0.85, 0.5));
+    }
+}
+
+TEST(BaselineModel, CliffPastHalf) {
+    // The paper's Figure 10: the drop between 40% and 70% is the steep part.
+    const double at40 = baseline_success(10, 4, 0.95, 0.5);
+    const double at70 = baseline_success(10, 7, 0.95, 0.5);
+    EXPECT_GT(at40, 0.95);
+    EXPECT_LT(at70, 0.80);
+}
+
+TEST(BaselineModel, SeriesMatchesPointwise) {
+    const auto s = baseline_series(10, 0.9, 0.5);
+    ASSERT_EQ(s.size(), 11u);
+    for (std::uint64_t m = 0; m <= 10; ++m) {
+        EXPECT_DOUBLE_EQ(s[m], baseline_success(10, m, 0.9, 0.5));
+    }
+}
+
+TEST(BaselineModel, RejectsMGreaterThanN) {
+    EXPECT_THROW(baseline_success(5, 6, 0.9, 0.5), std::invalid_argument);
+}
+
+TEST(TiDynamics, MarginAtZeroIsZero) {
+    EXPECT_NEAR(corruption_margin(0.0, 0.25, 10), 0.0, 1e-12);
+}
+
+TEST(TiDynamics, MarginPositiveForLargeK) {
+    // As k -> inf, f -> 1.
+    EXPECT_NEAR(corruption_margin(1000.0, 0.25, 10), 1.0, 1e-9);
+}
+
+TEST(TiDynamics, RootSatisfiesEquation) {
+    for (double lambda : {0.05, 0.1, 0.25, 0.5}) {
+        const double k = min_tolerable_spacing(lambda, 10);
+        EXPECT_GT(k, 0.0);
+        EXPECT_NEAR(corruption_margin(k, lambda, 10), 0.0, 1e-9) << "lambda=" << lambda;
+    }
+}
+
+TEST(TiDynamics, RootScalesInverselyWithLambda) {
+    // x* of x^9 - 2x + 1 = 0 is lambda-independent; k = -ln(x*)/lambda.
+    const double k1 = min_tolerable_spacing(0.1, 10);
+    const double k2 = min_tolerable_spacing(0.2, 10);
+    EXPECT_NEAR(k1, 2.0 * k2, 1e-6);
+}
+
+TEST(TiDynamics, KnownRootForN10) {
+    // x^9 - 2x + 1 = 0 has its non-trivial root just above x = 0.5 (since
+    // 0.5^9 is tiny); k*lambda = -ln(x*) ~ 0.691.
+    const double k = min_tolerable_spacing(0.25, 10);
+    const double x = std::exp(-0.25 * k);
+    EXPECT_NEAR(std::pow(x, 9.0) - 2.0 * x + 1.0, 0.0, 1e-9);
+    EXPECT_NEAR(0.25 * k, 0.691, 0.002);
+}
+
+TEST(TiDynamics, KMaxFormula) {
+    EXPECT_NEAR(max_rounds_for_last_failure(0.25), std::log(3.0) / 0.25, 1e-12);
+    EXPECT_THROW(max_rounds_for_last_failure(0.0), std::invalid_argument);
+    EXPECT_THROW(min_tolerable_spacing(0.0, 10), std::invalid_argument);
+    EXPECT_THROW(min_tolerable_spacing(0.25, 2), std::invalid_argument);
+}
+
+TEST(TiDynamics, MarginSeries) {
+    const auto s = margin_series({0.0, 1.0, 2.0}, 0.25, 10);
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_DOUBLE_EQ(s[1], corruption_margin(1.0, 0.25, 10));
+}
+
+TEST(Rayleigh, Table2ErrorPercentages) {
+    // P(error > 5) for the paper's sigmas.
+    EXPECT_NEAR(rayleigh_exceed(5.0, 1.6), std::exp(-25.0 / (2 * 1.6 * 1.6)), 1e-12);
+    EXPECT_NEAR(rayleigh_exceed(5.0, 4.25), 0.5, 0.01);   // ~50% of faulty reports off
+    EXPECT_NEAR(rayleigh_exceed(5.0, 6.0), 0.707, 0.005);  // ~70%
+    EXPECT_LT(rayleigh_exceed(5.0, 1.6), 0.01);            // correct nodes rarely off
+}
+
+TEST(Rayleigh, ExceedMonotoneInSigma) {
+    double prev = 0.0;
+    for (double sigma : {1.0, 2.0, 4.0, 8.0}) {
+        const double e = rayleigh_exceed(5.0, sigma);
+        EXPECT_GT(e, prev);
+        prev = e;
+    }
+}
+
+TEST(Rayleigh, QuantileInvertsExceed) {
+    const double sigma = 4.25;
+    for (double q : {0.1, 0.5, 0.9}) {
+        const double r = rayleigh_quantile(q, sigma);
+        EXPECT_NEAR(1.0 - rayleigh_exceed(r, sigma), q, 1e-9);
+    }
+    EXPECT_THROW(rayleigh_quantile(1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rayleigh, MeanFormula) {
+    EXPECT_NEAR(rayleigh_mean(2.0), 2.0 * std::sqrt(M_PI / 2), 1e-12);
+    EXPECT_THROW(rayleigh_mean(0.0), std::invalid_argument);
+}
+
+TEST(Rayleigh, EdgeCases) {
+    EXPECT_DOUBLE_EQ(rayleigh_exceed(0.0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(rayleigh_exceed(-1.0, 1.0), 1.0);
+    EXPECT_THROW(rayleigh_exceed(5.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tibfit::analysis

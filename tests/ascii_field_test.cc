@@ -1,0 +1,70 @@
+#include "util/ascii_field.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace tibfit::util {
+namespace {
+
+TEST(AsciiField, RejectsBadDimensions) {
+    EXPECT_THROW(AsciiField(0.0, 10.0), std::invalid_argument);
+    EXPECT_THROW(AsciiField(10.0, 10.0, 0, 5), std::invalid_argument);
+}
+
+TEST(AsciiField, MarksAppearAtExpectedCells) {
+    AsciiField f(10.0, 10.0, 10, 10);
+    f.mark({0.5, 9.5}, 'A');  // top-left
+    f.mark({9.5, 0.5}, 'B');  // bottom-right
+    const std::string s = f.to_string();
+    // Frame line 0, then row 0 (top) should contain A at column 1 (after '|').
+    const auto lines_begin = s.find('\n') + 1;
+    EXPECT_EQ(s[lines_begin + 1], 'A');
+    // Bottom row (row 9 of 10) ends with B just before the frame '|'.
+    std::vector<std::string> lines;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        const auto nl = s.find('\n', pos);
+        lines.push_back(s.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    EXPECT_EQ(lines[10][10], 'B');  // line 10 = last grid row; col 10 = last cell
+}
+
+TEST(AsciiField, OutOfRangeClampsToBorder) {
+    AsciiField f(10.0, 10.0, 10, 10);
+    f.mark({-5.0, -5.0}, 'X');
+    f.mark({50.0, 50.0}, 'Y');
+    const std::string s = f.to_string();
+    EXPECT_NE(s.find('X'), std::string::npos);
+    EXPECT_NE(s.find('Y'), std::string::npos);
+}
+
+TEST(AsciiField, CircleDoesNotOverwriteMarkers) {
+    AsciiField f(10.0, 10.0, 20, 20);
+    f.mark({7.0, 5.0}, 'N');
+    f.circle({5.0, 5.0}, 2.0, '.');
+    const std::string s = f.to_string();
+    EXPECT_NE(s.find('N'), std::string::npos);
+    EXPECT_NE(s.find('.'), std::string::npos);
+}
+
+TEST(AsciiField, LegendPrinted) {
+    AsciiField f(10.0, 10.0, 5, 5);
+    f.legend('o', "sensor");
+    f.legend('E', "event");
+    const std::string s = f.to_string();
+    EXPECT_NE(s.find("o  sensor"), std::string::npos);
+    EXPECT_NE(s.find("E  event"), std::string::npos);
+}
+
+TEST(AsciiField, MarkAll) {
+    AsciiField f(10.0, 10.0, 10, 10);
+    f.mark_all({{1, 1}, {2, 2}, {3, 3}}, 'n');
+    const std::string s = f.to_string();
+    EXPECT_EQ(std::count(s.begin(), s.end(), 'n'), 3);
+}
+
+}  // namespace
+}  // namespace tibfit::util

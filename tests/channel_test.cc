@@ -1,0 +1,310 @@
+#include "net/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/radio.h"
+
+namespace tibfit::net {
+namespace {
+
+/// Test process that records every delivered packet.
+class Sink : public sim::Process {
+  public:
+    Sink(sim::Simulator& s, sim::ProcessId id) : sim::Process(s, id) {}
+    void handle_packet(const Packet& p) override { received.push_back(p); }
+    std::vector<Packet> received;
+};
+
+class ChannelTest : public ::testing::Test {
+  protected:
+    ChannelTest() : channel_(simulator_, util::Rng(1), lossless()) {}
+
+    static ChannelParams lossless() {
+        ChannelParams p;
+        p.drop_probability = 0.0;
+        return p;
+    }
+
+    Packet report_packet(sim::ProcessId src, sim::ProcessId dst) {
+        Packet p;
+        p.src = src;
+        p.dst = dst;
+        p.payload = ReportPayload{};
+        return p;
+    }
+
+    sim::Simulator simulator_;
+    Channel channel_;
+};
+
+TEST_F(ChannelTest, UnicastDelivers) {
+    Sink a(simulator_, 0), b(simulator_, 1);
+    channel_.attach(a, {0, 0}, 100.0);
+    channel_.attach(b, {10, 0}, 100.0);
+    EXPECT_TRUE(channel_.unicast(report_packet(0, 1)));
+    simulator_.run();
+    ASSERT_EQ(b.received.size(), 1u);
+    EXPECT_EQ(b.received[0].src, 0u);
+    EXPECT_EQ(channel_.delivered(), 1u);
+}
+
+TEST_F(ChannelTest, DeliveryHasPropagationDelay) {
+    Sink a(simulator_, 0), b(simulator_, 1);
+    channel_.attach(a, {0, 0}, 1000.0);
+    channel_.attach(b, {300, 0}, 1000.0);
+    channel_.unicast(report_packet(0, 1));
+    simulator_.run();
+    // base_latency 1e-4 + 300/3e4 = 0.0101
+    EXPECT_NEAR(simulator_.now(), 0.0101, 1e-9);
+}
+
+TEST_F(ChannelTest, OutOfRangeNotDelivered) {
+    Sink a(simulator_, 0), b(simulator_, 1);
+    channel_.attach(a, {0, 0}, 5.0);
+    channel_.attach(b, {10, 0}, 5.0);
+    EXPECT_FALSE(channel_.unicast(report_packet(0, 1)));
+    simulator_.run();
+    EXPECT_TRUE(b.received.empty());
+    EXPECT_EQ(channel_.out_of_range(), 1u);
+}
+
+TEST_F(ChannelTest, UnknownDestinationNotDelivered) {
+    Sink a(simulator_, 0);
+    channel_.attach(a, {0, 0}, 5.0);
+    EXPECT_FALSE(channel_.unicast(report_packet(0, 99)));
+}
+
+TEST_F(ChannelTest, UnknownSenderThrows) {
+    EXPECT_THROW(channel_.unicast(report_packet(42, 0)), std::out_of_range);
+    Packet p = report_packet(42, kBroadcast);
+    EXPECT_THROW(channel_.broadcast(p), std::out_of_range);
+}
+
+TEST_F(ChannelTest, BroadcastReachesAllInRange) {
+    Sink a(simulator_, 0), b(simulator_, 1), c(simulator_, 2), far(simulator_, 3);
+    channel_.attach(a, {0, 0}, 50.0);
+    channel_.attach(b, {10, 0}, 50.0);
+    channel_.attach(c, {20, 0}, 50.0);
+    channel_.attach(far, {500, 0}, 50.0);
+    Packet p = report_packet(0, kBroadcast);
+    EXPECT_EQ(channel_.broadcast(p), 2u);
+    simulator_.run();
+    EXPECT_EQ(b.received.size(), 1u);
+    EXPECT_EQ(c.received.size(), 1u);
+    EXPECT_TRUE(far.received.empty());
+}
+
+TEST_F(ChannelTest, PerSenderDropOverride) {
+    Sink a(simulator_, 0), b(simulator_, 1);
+    channel_.attach(a, {0, 0}, 100.0);
+    channel_.attach(b, {1, 0}, 100.0);
+    channel_.set_drop_probability(0, 1.0);  // always drop
+    for (int i = 0; i < 20; ++i) channel_.unicast(report_packet(0, 1));
+    simulator_.run();
+    EXPECT_TRUE(b.received.empty());
+    EXPECT_EQ(channel_.dropped(), 20u);
+    EXPECT_THROW(channel_.set_drop_probability(99, 0.5), std::out_of_range);
+}
+
+TEST_F(ChannelTest, LossRateApproximatesParameter) {
+    ChannelParams lossy;
+    lossy.drop_probability = 0.25;
+    Channel ch(simulator_, util::Rng(7), lossy);
+    Sink a(simulator_, 0), b(simulator_, 1);
+    ch.attach(a, {0, 0}, 100.0);
+    ch.attach(b, {1, 0}, 100.0);
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        Packet p;
+        p.src = 0;
+        p.dst = 1;
+        p.payload = ReportPayload{};
+        ch.unicast(std::move(p));
+    }
+    simulator_.run();
+    EXPECT_NEAR(static_cast<double>(b.received.size()) / n, 0.75, 0.03);
+}
+
+TEST_F(ChannelTest, DetachStopsDelivery) {
+    Sink a(simulator_, 0), b(simulator_, 1);
+    channel_.attach(a, {0, 0}, 100.0);
+    channel_.attach(b, {1, 0}, 100.0);
+    channel_.detach(1);
+    EXPECT_FALSE(channel_.unicast(report_packet(0, 1)));
+}
+
+TEST_F(ChannelTest, SetPositionMoves) {
+    Sink a(simulator_, 0), b(simulator_, 1);
+    channel_.attach(a, {0, 0}, 5.0);
+    channel_.attach(b, {100, 0}, 5.0);
+    EXPECT_FALSE(channel_.unicast(report_packet(0, 1)));
+    channel_.set_position(1, {3, 0});
+    EXPECT_TRUE(channel_.unicast(report_packet(0, 1)));
+    EXPECT_EQ(channel_.position(1).x, 3.0);
+    EXPECT_THROW(channel_.set_position(77, {0, 0}), std::out_of_range);
+    EXPECT_THROW(channel_.position(77), std::out_of_range);
+}
+
+TEST_F(ChannelTest, MonitorOverhearsTrafficToTarget) {
+    Sink node(simulator_, 0), ch(simulator_, 1), shadow(simulator_, 2);
+    channel_.attach(node, {0, 0}, 100.0);
+    channel_.attach(ch, {10, 0}, 100.0);
+    channel_.attach(shadow, {12, 0}, 100.0);
+    channel_.add_monitor(2, 1);  // shadow watches the CH
+    channel_.unicast(report_packet(0, 1));
+    simulator_.run();
+    EXPECT_EQ(ch.received.size(), 1u);
+    ASSERT_EQ(shadow.received.size(), 1u);
+    EXPECT_EQ(shadow.received[0].dst, 1u);  // copy keeps original addressing
+}
+
+TEST_F(ChannelTest, MonitorOverhearsTrafficFromTarget) {
+    Sink ch(simulator_, 1), bs(simulator_, 3), shadow(simulator_, 2);
+    channel_.attach(ch, {10, 0}, 100.0);
+    channel_.attach(bs, {50, 0}, 100.0);
+    channel_.attach(shadow, {12, 0}, 100.0);
+    channel_.add_monitor(2, 1);
+    channel_.unicast(report_packet(1, 3));  // CH -> base station
+    simulator_.run();
+    EXPECT_EQ(bs.received.size(), 1u);
+    EXPECT_EQ(shadow.received.size(), 1u);
+}
+
+TEST_F(ChannelTest, RemoveMonitorStopsCopies) {
+    Sink node(simulator_, 0), ch(simulator_, 1), shadow(simulator_, 2);
+    channel_.attach(node, {0, 0}, 100.0);
+    channel_.attach(ch, {10, 0}, 100.0);
+    channel_.attach(shadow, {12, 0}, 100.0);
+    channel_.add_monitor(2, 1);
+    channel_.remove_monitor(2, 1);
+    channel_.unicast(report_packet(0, 1));
+    simulator_.run();
+    EXPECT_TRUE(shadow.received.empty());
+}
+
+TEST_F(ChannelTest, RadioCountsTraffic) {
+    Sink a(simulator_, 0), b(simulator_, 1);
+    channel_.attach(a, {0, 0}, 100.0);
+    channel_.attach(b, {10, 0}, 100.0);
+    Radio r(channel_, 0);
+    EXPECT_TRUE(r.send(1, ReportPayload{}));
+    EXPECT_FALSE(r.send(99, ReportPayload{}));
+    r.broadcast(ChAdvertPayload{});
+    EXPECT_EQ(r.sent(), 3u);
+    EXPECT_EQ(r.send_failures(), 1u);
+    simulator_.run();
+    EXPECT_EQ(b.received.size(), 2u);
+}
+
+TEST_F(ChannelTest, CollisionsDestroyOverlappingReceptions) {
+    ChannelParams p = lossless();
+    p.airtime = 0.01;  // receptions occupy the radio for 10 ms
+    Channel ch(simulator_, util::Rng(3), p);
+    Sink a(simulator_, 0), b(simulator_, 1), rx(simulator_, 2);
+    ch.attach(a, {0, 0}, 100.0);
+    ch.attach(b, {1, 0}, 100.0);
+    ch.attach(rx, {0.5, 1}, 100.0);
+
+    // Two senders transmit to the same receiver in the same instant: both
+    // packets overlap in the air and are lost.
+    Packet p1;
+    p1.src = 0;
+    p1.dst = 2;
+    p1.payload = ReportPayload{};
+    Packet p2;
+    p2.src = 1;
+    p2.dst = 2;
+    p2.payload = ReportPayload{};
+    ch.unicast(std::move(p1));
+    ch.unicast(std::move(p2));
+    simulator_.run();
+    EXPECT_TRUE(rx.received.empty());
+    EXPECT_GE(ch.collisions(), 2u);
+}
+
+TEST_F(ChannelTest, SpacedTransmissionsDoNotCollide) {
+    ChannelParams p = lossless();
+    p.airtime = 0.01;
+    Channel ch(simulator_, util::Rng(5), p);
+    Sink a(simulator_, 0), rx(simulator_, 2);
+    ch.attach(a, {0, 0}, 100.0);
+    ch.attach(rx, {1, 0}, 100.0);
+
+    auto send = [&] {
+        Packet pk;
+        pk.src = 0;
+        pk.dst = 2;
+        pk.payload = ReportPayload{};
+        ch.unicast(std::move(pk));
+    };
+    send();
+    simulator_.schedule(0.05, send);  // well past the first airtime
+    simulator_.run();
+    EXPECT_EQ(rx.received.size(), 2u);
+    EXPECT_EQ(ch.collisions(), 0u);
+}
+
+TEST_F(ChannelTest, ThirdPacketCollidesWithJam) {
+    ChannelParams p = lossless();
+    p.airtime = 0.05;
+    Channel ch(simulator_, util::Rng(7), p);
+    Sink a(simulator_, 0), b(simulator_, 1), c(simulator_, 3), rx(simulator_, 2);
+    ch.attach(a, {0, 0}, 100.0);
+    ch.attach(b, {1, 0}, 100.0);
+    ch.attach(c, {2, 0}, 100.0);
+    ch.attach(rx, {0.5, 1}, 100.0);
+    for (sim::ProcessId src : {0u, 1u, 3u}) {
+        Packet pk;
+        pk.src = src;
+        pk.dst = 2;
+        pk.payload = ReportPayload{};
+        ch.unicast(std::move(pk));
+    }
+    simulator_.run();
+    EXPECT_TRUE(rx.received.empty());  // the jam swallows all three
+}
+
+TEST_F(ChannelTest, CollisionsDisabledByDefault) {
+    Sink a(simulator_, 0), b(simulator_, 1), rx(simulator_, 2);
+    channel_.attach(a, {0, 0}, 100.0);
+    channel_.attach(b, {1, 0}, 100.0);
+    channel_.attach(rx, {0.5, 1}, 100.0);
+    for (sim::ProcessId src : {0u, 1u}) {
+        Packet pk;
+        pk.src = src;
+        pk.dst = 2;
+        pk.payload = ReportPayload{};
+        channel_.unicast(std::move(pk));
+    }
+    simulator_.run();
+    EXPECT_EQ(rx.received.size(), 2u);
+    EXPECT_EQ(channel_.collisions(), 0u);
+}
+
+TEST_F(ChannelTest, PayloadVariantRoundTrip) {
+    Sink a(simulator_, 0), b(simulator_, 1);
+    channel_.attach(a, {0, 0}, 100.0);
+    channel_.attach(b, {10, 0}, 100.0);
+    DecisionPayload d;
+    d.decision_seq = 7;
+    d.event_declared = true;
+    d.judged_faulty = {3, 4};
+    Packet p;
+    p.src = 0;
+    p.dst = 1;
+    p.payload = d;
+    channel_.unicast(std::move(p));
+    simulator_.run();
+    ASSERT_EQ(b.received.size(), 1u);
+    const auto* got = b.received[0].as<DecisionPayload>();
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->decision_seq, 7u);
+    EXPECT_TRUE(got->event_declared);
+    EXPECT_EQ(got->judged_faulty, (std::vector<core::NodeId>{3, 4}));
+    EXPECT_EQ(b.received[0].as<ReportPayload>(), nullptr);
+}
+
+}  // namespace
+}  // namespace tibfit::net

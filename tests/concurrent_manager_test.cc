@@ -1,0 +1,125 @@
+#include "core/concurrent_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace tibfit::core {
+namespace {
+
+TEST(ConcurrentManager, RejectsBadConstruction) {
+    EXPECT_THROW(ConcurrentEventManager(0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(ConcurrentEventManager(5.0, 0.0), std::invalid_argument);
+}
+
+TEST(ConcurrentManager, FirstReportOpensCircle) {
+    ConcurrentEventManager m(5.0, 1.0);
+    EXPECT_TRUE(m.add_report(0.0, 0, {10, 10}));
+    EXPECT_EQ(m.open_circles(), 1u);
+    ASSERT_TRUE(m.next_deadline().has_value());
+    EXPECT_DOUBLE_EQ(*m.next_deadline(), 1.0);
+}
+
+TEST(ConcurrentManager, NearbyReportJoinsExistingCircle) {
+    ConcurrentEventManager m(5.0, 1.0);
+    EXPECT_TRUE(m.add_report(0.0, 0, {10, 10}));
+    EXPECT_FALSE(m.add_report(0.2, 1, {12, 11}));  // inside the circle
+    EXPECT_EQ(m.open_circles(), 1u);
+}
+
+TEST(ConcurrentManager, FarReportOpensSecondCircle) {
+    ConcurrentEventManager m(5.0, 1.0);
+    m.add_report(0.0, 0, {10, 10});
+    EXPECT_TRUE(m.add_report(0.3, 1, {40, 40}));
+    EXPECT_EQ(m.open_circles(), 2u);
+}
+
+TEST(ConcurrentManager, NotReadyBeforeDeadline) {
+    ConcurrentEventManager m(5.0, 1.0);
+    m.add_report(0.0, 0, {10, 10});
+    EXPECT_TRUE(m.collect_ready(0.5).empty());
+    EXPECT_EQ(m.open_circles(), 1u);
+}
+
+TEST(ConcurrentManager, ReadyAtDeadline) {
+    ConcurrentEventManager m(5.0, 1.0);
+    m.add_report(0.0, 0, {10, 10});
+    m.add_report(0.4, 1, {11, 11});
+    const auto groups = m.collect_ready(1.0);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0], (ReportGroup{0, 1}));
+    EXPECT_TRUE(m.idle());
+}
+
+TEST(ConcurrentManager, IndependentCirclesReleaseIndependently) {
+    ConcurrentEventManager m(5.0, 1.0);
+    m.add_report(0.0, 0, {10, 10});
+    m.add_report(0.5, 1, {80, 80});
+    auto g1 = m.collect_ready(1.0);  // only the first circle expired
+    ASSERT_EQ(g1.size(), 1u);
+    EXPECT_EQ(g1[0], (ReportGroup{0}));
+    EXPECT_EQ(m.open_circles(), 1u);
+    auto g2 = m.collect_ready(1.5);
+    ASSERT_EQ(g2.size(), 1u);
+    EXPECT_EQ(g2[0], (ReportGroup{1}));
+    EXPECT_TRUE(m.idle());
+}
+
+TEST(ConcurrentManager, OverlappingCirclesWaitForAllDeadlines) {
+    // Circles at (10,10) and (17,10) with r=5 overlap (centres 7 < 10).
+    ConcurrentEventManager m(5.0, 1.0);
+    m.add_report(0.0, 0, {10, 10});
+    m.add_report(0.8, 1, {17, 10});
+    // First deadline passed, but the overlapping second has not: no release.
+    EXPECT_TRUE(m.collect_ready(1.0).empty());
+    // Both expired: the union releases as one group.
+    const auto groups = m.collect_ready(1.8);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0], (ReportGroup{0, 1}));
+}
+
+TEST(ConcurrentManager, TransitiveOverlapChains) {
+    // A-B overlap, B-C overlap, A-C do not: all three must go together.
+    ConcurrentEventManager m(5.0, 1.0);
+    m.add_report(0.0, 0, {10, 10});
+    m.add_report(0.3, 1, {18, 10});
+    m.add_report(0.6, 2, {26, 10});
+    EXPECT_TRUE(m.collect_ready(1.0).empty());
+    EXPECT_TRUE(m.collect_ready(1.3).empty());
+    const auto groups = m.collect_ready(1.6);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0], (ReportGroup{0, 1, 2}));
+}
+
+TEST(ConcurrentManager, SimultaneousDistantEventsSeparateGroups) {
+    ConcurrentEventManager m(5.0, 1.0);
+    m.add_report(0.0, 0, {10, 10});
+    m.add_report(0.0, 1, {90, 90});
+    m.add_report(0.1, 2, {11, 10});
+    m.add_report(0.1, 3, {89, 90});
+    const auto groups = m.collect_ready(1.0);
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0], (ReportGroup{0, 2}));
+    EXPECT_EQ(groups[1], (ReportGroup{1, 3}));
+}
+
+TEST(ConcurrentManager, BoundaryReportJoinsFirstContainingCircle) {
+    ConcurrentEventManager m(5.0, 1.0);
+    m.add_report(0.0, 0, {10, 10});
+    m.add_report(0.0, 1, {18, 10});
+    // (14, 10) is within 5 of both centres; joins the first circle.
+    EXPECT_FALSE(m.add_report(0.1, 2, {14, 10}));
+    const auto groups = m.collect_ready(2.0);
+    ASSERT_EQ(groups.size(), 1u);  // circles overlap -> one merged group
+    EXPECT_EQ(groups[0], (ReportGroup{0, 2, 1}));
+}
+
+TEST(ConcurrentManager, NextDeadlineIsEarliest) {
+    ConcurrentEventManager m(5.0, 1.0);
+    m.add_report(0.5, 0, {10, 10});
+    m.add_report(0.2, 1, {80, 80});
+    ASSERT_TRUE(m.next_deadline().has_value());
+    EXPECT_DOUBLE_EQ(*m.next_deadline(), 1.2);
+    EXPECT_FALSE(ConcurrentEventManager(5.0, 1.0).next_deadline().has_value());
+}
+
+}  // namespace
+}  // namespace tibfit::core

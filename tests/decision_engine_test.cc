@@ -1,0 +1,104 @@
+#include "core/decision_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace tibfit::core {
+namespace {
+
+EngineConfig config() {
+    EngineConfig c;
+    c.policy = DecisionPolicy::TrustIndex;
+    c.sensing_radius = 20.0;
+    c.r_error = 5.0;
+    c.t_out = 1.0;
+    c.trust.lambda = 0.25;
+    c.trust.fault_rate = 0.1;
+    return c;
+}
+
+EventReport report(NodeId n, util::Vec2 loc, double t) {
+    EventReport r;
+    r.reporter = n;
+    r.time = t;
+    r.location = loc;
+    return r;
+}
+
+TEST(DecisionEngine, BinaryPathDelegates) {
+    DecisionEngine e(config());
+    const std::vector<NodeId> all{0, 1, 2};
+    const auto d = e.decide_binary(all, std::vector<NodeId>{0, 1});
+    EXPECT_TRUE(d.event_declared);
+    EXPECT_GT(e.trust().v(2), 0.0);  // loser penalized through the engine
+}
+
+TEST(DecisionEngine, SubmitRequiresLocation) {
+    DecisionEngine e(config());
+    EventReport r;
+    r.reporter = 0;
+    r.time = 0.0;
+    EXPECT_THROW(e.submit(r), std::invalid_argument);
+}
+
+TEST(DecisionEngine, SubmitCollectLifecycle) {
+    DecisionEngine e(config());
+    std::vector<util::Vec2> pos{{0, 0}, {5, 0}, {10, 0}};
+
+    EXPECT_TRUE(e.submit(report(0, {5, 0}, 0.0)));   // opens circle
+    EXPECT_FALSE(e.submit(report(1, {5.5, 0}, 0.2)));  // joins it
+    EXPECT_EQ(e.buffered_reports(), 2u);
+
+    EXPECT_TRUE(e.collect(0.5, pos).empty());  // too early
+    const auto decisions = e.collect(1.0, pos);
+    ASSERT_EQ(decisions.size(), 1u);
+    EXPECT_TRUE(decisions[0].event_declared);
+    EXPECT_EQ(e.buffered_reports(), 0u);  // buffer drained when idle
+}
+
+TEST(DecisionEngine, TwoWindowsInFlight) {
+    DecisionEngine e(config());
+    std::vector<util::Vec2> pos{{0, 0}, {100, 0}};
+    e.submit(report(0, {0, 0}, 0.0));
+    e.submit(report(1, {100, 0}, 0.5));
+    auto first = e.collect(1.0, pos);
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_NEAR(first[0].location.x, 0.0, 1e-9);
+    EXPECT_EQ(e.buffered_reports(), 2u);  // second window still open
+    auto second = e.collect(1.5, pos);
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_NEAR(second[0].location.x, 100.0, 1e-9);
+    EXPECT_EQ(e.buffered_reports(), 0u);
+}
+
+TEST(DecisionEngine, TrustAdoptionAcrossInstances) {
+    DecisionEngine old_ch(config());
+    old_ch.decide_binary(std::vector<NodeId>{0, 1, 2}, std::vector<NodeId>{0, 1});
+    const double penalized = old_ch.trust().v(2);
+    ASSERT_GT(penalized, 0.0);
+
+    DecisionEngine new_ch(config());
+    new_ch.adopt_trust(old_ch.snapshot_trust());
+    EXPECT_DOUBLE_EQ(new_ch.trust().v(2), penalized);
+}
+
+TEST(DecisionEngine, OneShotLocationDecision) {
+    DecisionEngine e(config());
+    std::vector<util::Vec2> pos{{0, 0}, {5, 0}, {10, 0}};
+    std::vector<EventReport> reports{report(0, {5, 0}, 0.0), report(1, {5.2, 0}, 0.1),
+                                     report(2, {4.9, 0}, 0.1)};
+    const auto decisions = e.decide_location(reports, pos);
+    ASSERT_EQ(decisions.size(), 1u);
+    EXPECT_TRUE(decisions[0].event_declared);
+    EXPECT_EQ(decisions[0].reporters.size(), 3u);
+}
+
+TEST(DecisionEngine, NextDeadlineTracksWindows) {
+    DecisionEngine e(config());
+    EXPECT_FALSE(e.next_deadline().has_value());
+    e.submit(report(0, {5, 0}, 2.0));
+    ASSERT_TRUE(e.next_deadline().has_value());
+    EXPECT_DOUBLE_EQ(*e.next_deadline(), 3.0);
+}
+
+}  // namespace
+}  // namespace tibfit::core

@@ -1,0 +1,231 @@
+#include "sensor/fault_model.h"
+
+#include <gtest/gtest.h>
+
+#include "sensor/collusion.h"
+
+namespace tibfit::sensor {
+namespace {
+
+SenseContext ctx(double tracked_ti = 1.0, std::uint64_t event_id = 0) {
+    SenseContext c;
+    c.event_id = event_id;
+    c.true_location = {50, 50};
+    c.node_position = {45, 45};
+    c.sensing_radius = 20.0;
+    c.tracked_ti = tracked_ti;
+    return c;
+}
+
+double report_rate_on_event(FaultBehavior& b, int n, std::uint64_t seed = 1) {
+    util::Rng rng(seed);
+    int reported = 0;
+    for (int i = 0; i < n; ++i) {
+        if (b.on_event(ctx(1.0, static_cast<std::uint64_t>(i)), rng).report) ++reported;
+    }
+    return static_cast<double>(reported) / n;
+}
+
+TEST(CorrectBehavior, ReportsAtOneMinusNer) {
+    FaultParams p;
+    p.natural_error_rate = 0.1;
+    CorrectBehavior b(p);
+    EXPECT_NEAR(report_rate_on_event(b, 20000), 0.9, 0.01);
+}
+
+TEST(CorrectBehavior, NeverFabricates) {
+    FaultParams p;
+    p.false_alarm_rate = 1.0;  // must be ignored by honest nodes
+    CorrectBehavior b(p);
+    util::Rng rng(2);
+    for (int i = 0; i < 100; ++i) EXPECT_FALSE(b.on_quiet(ctx(), rng).report);
+}
+
+TEST(CorrectBehavior, LocationNoiseMatchesSigma) {
+    FaultParams p;
+    p.natural_error_rate = 0.0;
+    p.correct_sigma = 1.6;
+    CorrectBehavior b(p);
+    util::Rng rng(3);
+    double sum2 = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const auto a = b.on_event(ctx(), rng);
+        ASSERT_TRUE(a.report);
+        ASSERT_TRUE(a.location.has_value());
+        const auto d = *a.location - util::Vec2{50, 50};
+        sum2 += d.norm2();
+    }
+    // E[dx^2 + dy^2] = 2 sigma^2.
+    EXPECT_NEAR(sum2 / n, 2 * 1.6 * 1.6, 0.1);
+}
+
+TEST(Level0, BinaryMissedAlarmRate) {
+    FaultParams p;
+    p.missed_alarm_rate = 0.5;
+    p.faulty_drop_rate = 0.0;
+    Level0Fault b(p, /*binary_mode=*/true);
+    EXPECT_NEAR(report_rate_on_event(b, 20000), 0.5, 0.01);
+}
+
+TEST(Level0, LocationDropRate) {
+    FaultParams p;
+    p.missed_alarm_rate = 0.5;  // must not apply in location mode
+    p.faulty_drop_rate = 0.25;
+    Level0Fault b(p, /*binary_mode=*/false);
+    EXPECT_NEAR(report_rate_on_event(b, 20000), 0.75, 0.01);
+}
+
+TEST(Level0, FalseAlarmRate) {
+    FaultParams p;
+    p.false_alarm_rate = 0.75;
+    Level0Fault b(p, true);
+    util::Rng rng(5);
+    int alarms = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const auto a = b.on_quiet(ctx(), rng);
+        if (a.report) {
+            ++alarms;
+            // Fabricated location is within the node's own sensing radius.
+            ASSERT_TRUE(a.location.has_value());
+            EXPECT_LE(util::distance(*a.location, ctx().node_position), 20.0 + 1e-9);
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(alarms) / n, 0.75, 0.01);
+}
+
+TEST(Level0, FaultySigmaUsed) {
+    FaultParams p;
+    p.faulty_drop_rate = 0.0;
+    p.faulty_sigma = 6.0;
+    Level0Fault b(p, false);
+    util::Rng rng(7);
+    double sum2 = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const auto a = b.on_event(ctx(), rng);
+        sum2 += (*a.location - util::Vec2{50, 50}).norm2();
+    }
+    EXPECT_NEAR(sum2 / n, 2 * 36.0, 1.5);
+}
+
+TEST(Level1, LiesWhileTrusted) {
+    FaultParams p;
+    p.faulty_drop_rate = 1.0;  // lying = always drop (easy to observe)
+    Level1Fault b(p, false);
+    util::Rng rng(9);
+    const auto a = b.on_event(ctx(1.0), rng);
+    EXPECT_FALSE(a.report);
+    EXPECT_FALSE(b.rehabilitating());
+}
+
+TEST(Level1, RehabilitatesAtLowerThreshold) {
+    FaultParams p;
+    p.faulty_drop_rate = 1.0;
+    p.natural_error_rate = 0.0;
+    p.lower_ti = 0.5;
+    p.upper_ti = 0.8;
+    Level1Fault b(p, false);
+    util::Rng rng(11);
+    // Tracked TI fell to 0.4: behaves like a correct node (reports truth).
+    const auto a = b.on_event(ctx(0.4), rng);
+    EXPECT_TRUE(b.rehabilitating());
+    EXPECT_TRUE(a.report);
+    ASSERT_TRUE(a.location.has_value());
+    EXPECT_LT(util::distance(*a.location, {50, 50}), 10.0);
+}
+
+TEST(Level1, HysteresisNotResumedUntilUpper) {
+    FaultParams p;
+    p.faulty_drop_rate = 1.0;
+    p.natural_error_rate = 0.0;
+    Level1Fault b(p, false);
+    util::Rng rng(13);
+    b.on_event(ctx(0.4), rng);  // enter rehab
+    // TI back to 0.7 (< upper 0.8): still honest.
+    EXPECT_TRUE(b.on_event(ctx(0.7), rng).report);
+    EXPECT_TRUE(b.rehabilitating());
+    // TI at 0.85 (>= upper): resumes lying (drops).
+    EXPECT_FALSE(b.on_event(ctx(0.85), rng).report);
+    EXPECT_FALSE(b.rehabilitating());
+}
+
+TEST(CollusionChannel, DecisionMemoizedPerEvent) {
+    FaultParams p;
+    p.faulty_drop_rate = 0.5;
+    CollusionChannel ch(util::Rng(17), p, false);
+    const auto& d1 = ch.decide_event(1, {50, 50});
+    const auto& d1_again = ch.decide_event(1, {99, 99});  // location ignored on re-ask
+    EXPECT_EQ(d1.drop, d1_again.drop);
+    EXPECT_EQ(d1.location, d1_again.location);
+    EXPECT_EQ(ch.events_decided(), 1u);
+    ch.decide_event(2, {50, 50});
+    EXPECT_EQ(ch.events_decided(), 2u);
+}
+
+TEST(CollusionChannel, DropFrequencyMatchesRate) {
+    FaultParams p;
+    p.faulty_drop_rate = 0.25;
+    CollusionChannel ch(util::Rng(19), p, false);
+    int drops = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (ch.decide_event(static_cast<std::uint64_t>(i), {50, 50}).drop) ++drops;
+    }
+    EXPECT_NEAR(static_cast<double>(drops) / n, 0.25, 0.01);
+}
+
+TEST(Level2, CollusersAgreeExactly) {
+    FaultParams p;
+    p.faulty_drop_rate = 0.0;
+    p.faulty_sigma = 4.25;
+    auto channel = std::make_shared<CollusionChannel>(util::Rng(23), p, false);
+    Level2Fault a(p, false, channel);
+    Level2Fault b(p, false, channel);
+    util::Rng ra(1), rb(2);  // different node-local randomness
+    const auto aa = a.on_event(ctx(1.0, 5), ra);
+    const auto ab = b.on_event(ctx(1.0, 5), rb);
+    ASSERT_TRUE(aa.report);
+    ASSERT_TRUE(ab.report);
+    EXPECT_EQ(*aa.location, *ab.location);  // identical fabricated location
+}
+
+TEST(Level2, JitteredEchoesDifferButStayCorrelated) {
+    FaultParams p;
+    p.faulty_drop_rate = 0.0;
+    p.faulty_sigma = 4.25;
+    p.collusion_jitter = 0.5;
+    auto channel = std::make_shared<CollusionChannel>(util::Rng(41), p, false);
+    Level2Fault a(p, false, channel);
+    Level2Fault b(p, false, channel);
+    util::Rng ra(1), rb(2);
+    const auto aa = a.on_event(ctx(1.0, 9), ra);
+    const auto ab = b.on_event(ctx(1.0, 9), rb);
+    ASSERT_TRUE(aa.location.has_value());
+    ASSERT_TRUE(ab.location.has_value());
+    EXPECT_NE(*aa.location, *ab.location);  // exact-echo fingerprint broken
+    // ... but both stay within a few jitter sigmas of the shared draw.
+    EXPECT_LT(util::distance(*aa.location, *ab.location), 5.0);
+}
+
+TEST(Level2, RehabilitatingColluderIgnoresChannel) {
+    FaultParams p;
+    p.faulty_drop_rate = 1.0;  // the group decision is "drop"
+    p.natural_error_rate = 0.0;
+    auto channel = std::make_shared<CollusionChannel>(util::Rng(29), p, false);
+    Level2Fault b(p, false, channel);
+    util::Rng rng(3);
+    const auto a = b.on_event(ctx(0.3, 8), rng);  // low TI: honest
+    EXPECT_TRUE(a.report);  // reports truthfully despite group drop
+}
+
+TEST(NodeClass, Names) {
+    EXPECT_STREQ(to_string(NodeClass::Correct), "correct");
+    EXPECT_STREQ(to_string(NodeClass::Level0), "level0");
+    EXPECT_STREQ(to_string(NodeClass::Level1), "level1");
+    EXPECT_STREQ(to_string(NodeClass::Level2), "level2");
+}
+
+}  // namespace
+}  // namespace tibfit::sensor

@@ -1,0 +1,76 @@
+#include "util/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tibfit::util {
+namespace {
+
+TEST(Circle, Contains) {
+    const Circle c{{0, 0}, 5.0};
+    EXPECT_TRUE(c.contains({3, 4}));   // on the boundary
+    EXPECT_TRUE(c.contains({1, 1}));
+    EXPECT_FALSE(c.contains({4, 4}));
+}
+
+TEST(Circle, Overlap) {
+    const Circle a{{0, 0}, 5.0};
+    EXPECT_TRUE(circles_overlap(a, {{9.9, 0}, 5.0}));
+    EXPECT_TRUE(circles_overlap(a, {{10.0, 0}, 5.0}));  // touching counts
+    EXPECT_FALSE(circles_overlap(a, {{10.1, 0}, 5.0}));
+}
+
+TEST(Geometry, Centroid) {
+    const std::vector<Vec2> pts{{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+    const Vec2 c = centroid(pts);
+    EXPECT_DOUBLE_EQ(c.x, 1.0);
+    EXPECT_DOUBLE_EQ(c.y, 1.0);
+    EXPECT_EQ(centroid({}), Vec2());
+}
+
+TEST(Geometry, WeightedCentroid) {
+    const std::vector<Vec2> pts{{0, 0}, {4, 0}};
+    const std::vector<double> w{3.0, 1.0};
+    const Vec2 c = weighted_centroid(pts, w);
+    EXPECT_DOUBLE_EQ(c.x, 1.0);
+    EXPECT_DOUBLE_EQ(c.y, 0.0);
+}
+
+TEST(Geometry, WeightedCentroidRejectsBadInput) {
+    const std::vector<Vec2> pts{{0, 0}};
+    const std::vector<double> wrong_size{1.0, 2.0};
+    EXPECT_THROW((void)weighted_centroid(pts, wrong_size), std::invalid_argument);
+    const std::vector<double> zero{0.0};
+    EXPECT_THROW((void)weighted_centroid(pts, zero), std::invalid_argument);
+}
+
+TEST(Geometry, FarthestPair) {
+    const std::vector<Vec2> pts{{0, 0}, {1, 1}, {10, 0}, {2, 2}};
+    const auto [i, j] = farthest_pair(pts);
+    EXPECT_EQ(i, 0u);
+    EXPECT_EQ(j, 2u);
+}
+
+TEST(Geometry, FarthestPairRequiresTwoPoints) {
+    const std::vector<Vec2> one{{0, 0}};
+    EXPECT_THROW((void)farthest_pair(one), std::invalid_argument);
+}
+
+TEST(Geometry, NearestIndex) {
+    const std::vector<Vec2> pts{{0, 0}, {5, 5}, {10, 10}};
+    EXPECT_EQ(nearest_index(pts, {6, 6}), 1u);
+    EXPECT_EQ(nearest_index(pts, {-1, 0}), 0u);
+    EXPECT_THROW((void)nearest_index({}, {0, 0}), std::invalid_argument);
+}
+
+TEST(Geometry, IndicesWithin) {
+    const std::vector<Vec2> pts{{0, 0}, {3, 0}, {10, 0}};
+    const auto idx = indices_within(pts, {0, 0}, 5.0);
+    ASSERT_EQ(idx.size(), 2u);
+    EXPECT_EQ(idx[0], 0u);
+    EXPECT_EQ(idx[1], 1u);
+}
+
+}  // namespace
+}  // namespace tibfit::util

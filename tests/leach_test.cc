@@ -1,0 +1,149 @@
+#include "cluster/leach.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/energy.h"
+
+namespace tibfit::cluster {
+namespace {
+
+std::vector<Candidate> population(std::size_t n, double ti = 1.0, double energy = 1.0) {
+    std::vector<Candidate> out;
+    for (std::size_t i = 0; i < n; ++i) {
+        Candidate c;
+        c.id = static_cast<sim::ProcessId>(i);
+        c.position = {static_cast<double>(10 * (i % 10)), static_cast<double>(10 * (i / 10))};
+        c.energy_fraction = energy;
+        c.ti = ti;
+        out.push_back(c);
+    }
+    return out;
+}
+
+TEST(Leach, RejectsBadFraction) {
+    EXPECT_THROW(LeachElection({0.0, 0.5}, util::Rng(1)), std::invalid_argument);
+    EXPECT_THROW(LeachElection({1.5, 0.5}, util::Rng(1)), std::invalid_argument);
+}
+
+TEST(Leach, EpochLength) {
+    EXPECT_EQ(LeachElection({0.1, 0.5}, util::Rng(1)).epoch_length(), 10u);
+    EXPECT_EQ(LeachElection({0.3, 0.5}, util::Rng(1)).epoch_length(), 4u);
+}
+
+TEST(Leach, AlwaysElectsAtLeastOneHead) {
+    LeachElection e({0.1, 0.5}, util::Rng(3));
+    const auto pop = population(20);
+    for (std::uint32_t r = 0; r < 50; ++r) {
+        const auto result = e.run_round(r, pop);
+        EXPECT_GE(result.heads.size(), 1u) << "round " << r;
+    }
+}
+
+TEST(Leach, TiGateExcludesDistrusted) {
+    LeachElection e({0.2, 0.5}, util::Rng(5));
+    auto pop = population(10);
+    // Only node 3 clears the TI bar.
+    for (auto& c : pop) c.ti = 0.3;
+    pop[3].ti = 0.9;
+    for (std::uint32_t r = 0; r < 20; ++r) {
+        const auto result = e.run_round(r, pop);
+        for (auto h : result.heads) EXPECT_EQ(h, 3u);
+    }
+}
+
+TEST(Leach, AllDistrustedFallsBackToHighestTi) {
+    LeachElection e({0.2, 0.5}, util::Rng(7));
+    auto pop = population(5);
+    for (std::size_t i = 0; i < pop.size(); ++i) pop[i].ti = 0.1 * static_cast<double>(i);
+    const auto result = e.run_round(0, pop);
+    ASSERT_EQ(result.heads.size(), 1u);
+    EXPECT_EQ(result.heads[0], 4u);  // highest TI (0.4)
+    EXPECT_TRUE(result.drafted);
+}
+
+TEST(Leach, ThresholdZeroWhenServedThisEpoch) {
+    LeachElection e({0.5, 0.5}, util::Rng(9));  // epoch = 2 rounds
+    auto pop = population(4);
+    const auto r0 = e.run_round(0, pop);
+    ASSERT_FALSE(r0.heads.empty());
+    const auto head = r0.heads[0];
+    Candidate c;
+    c.id = head;
+    c.energy_fraction = 1.0;
+    c.ti = 1.0;
+    EXPECT_EQ(e.threshold(1, c), 0.0);  // same epoch: ineligible
+}
+
+TEST(Leach, ThresholdScalesWithEnergy) {
+    LeachElection e({0.1, 0.5}, util::Rng(11));
+    Candidate full, half;
+    full.id = 0;
+    full.energy_fraction = 1.0;
+    full.ti = 1.0;
+    half.id = 1;
+    half.energy_fraction = 0.5;
+    half.ti = 1.0;
+    EXPECT_NEAR(e.threshold(0, half), e.threshold(0, full) * 0.5, 1e-12);
+    Candidate dead = full;
+    dead.id = 2;
+    dead.energy_fraction = 0.0;
+    EXPECT_EQ(e.threshold(0, dead), 0.0);
+}
+
+TEST(Leach, RotationSpreadsServiceOverEpochs) {
+    LeachElection e({0.25, 0.5}, util::Rng(13));  // epoch = 4
+    const auto pop = population(8);
+    std::set<sim::ProcessId> served;
+    for (std::uint32_t r = 0; r < 32; ++r) {
+        for (auto h : e.run_round(r, pop).heads) served.insert(h);
+    }
+    // Over 32 rounds with rotation pressure most nodes should have served.
+    EXPECT_GE(served.size(), 6u);
+}
+
+TEST(Leach, AffiliationIsNearestHead) {
+    LeachElection e({0.5, 0.5}, util::Rng(17));
+    auto pop = population(4);
+    // Force exactly nodes 0 and 3 eligible.
+    pop[1].ti = 0.0;
+    pop[2].ti = 0.0;
+    pop[0].position = {0, 0};
+    pop[3].position = {100, 0};
+    pop[1].position = {10, 0};
+    pop[2].position = {90, 0};
+    ElectionResult result;
+    // Elections are randomized; retry rounds until both eligible serve.
+    for (std::uint32_t r = 0; r < 50; ++r) {
+        result = e.run_round(r, pop);
+        if (result.heads.size() == 2) break;
+    }
+    if (result.heads.size() == 2) {
+        EXPECT_EQ(result.affiliation.at(1), 0u);
+        EXPECT_EQ(result.affiliation.at(2), 3u);
+    }
+    EXPECT_GE(e.times_served(0) + e.times_served(3), 1u);
+}
+
+TEST(Energy, TxRxCosts) {
+    EnergyParams p;
+    EXPECT_DOUBLE_EQ(rx_cost(p, 1000), 50e-9 * 1000);
+    EXPECT_DOUBLE_EQ(tx_cost(p, 1000, 0.0), 50e-9 * 1000);
+    EXPECT_GT(tx_cost(p, 1000, 100.0), tx_cost(p, 1000, 10.0));
+    EXPECT_DOUBLE_EQ(tx_cost(p, 1000, 100.0), 50e-9 * 1000 + 100e-12 * 1000 * 10000);
+}
+
+TEST(Energy, BatteryDrainsAndClamps) {
+    Battery b(1.0);
+    EXPECT_DOUBLE_EQ(b.fraction(), 1.0);
+    EXPECT_TRUE(b.consume(0.4));
+    EXPECT_NEAR(b.level(), 0.6, 1e-12);
+    EXPECT_TRUE(b.consume(10.0));
+    EXPECT_DOUBLE_EQ(b.level(), 0.0);
+    EXPECT_TRUE(b.depleted());
+    EXPECT_FALSE(b.consume(0.1));  // dead stays dead
+}
+
+}  // namespace
+}  // namespace tibfit::cluster

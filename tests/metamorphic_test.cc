@@ -1,0 +1,155 @@
+// Metamorphic properties: transformations of the input that must not (or
+// must predictably) change the output of the core algorithms.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/baseline_voter.h"
+#include "core/event_clusterer.h"
+#include "core/location_arbiter.h"
+#include "util/rng.h"
+
+namespace tibfit::core {
+namespace {
+
+std::vector<util::Vec2> random_points(std::uint64_t seed, int n, double field = 100.0) {
+    util::Rng rng(seed);
+    std::vector<util::Vec2> pts;
+    for (int i = 0; i < n; ++i) pts.push_back(rng.point_in_rect(field, field));
+    return pts;
+}
+
+/// Canonical form of a clustering: sorted member lists, sorted by first
+/// member. Ignores cg (compared separately where needed).
+std::vector<std::vector<std::size_t>> canonical(const std::vector<EventCluster>& cs) {
+    std::vector<std::vector<std::size_t>> out;
+    for (const auto& c : cs) {
+        auto m = c.members;
+        std::sort(m.begin(), m.end());
+        out.push_back(std::move(m));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+class ClustererMetamorphic : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClustererMetamorphic, TranslationInvariant) {
+    EventClusterer c(5.0);
+    const auto pts = random_points(GetParam(), 40);
+    const util::Vec2 shift{123.4, -56.7};
+    std::vector<util::Vec2> moved;
+    for (const auto& p : pts) moved.push_back(p + shift);
+
+    const auto a = c.cluster(pts);
+    const auto b = c.cluster(moved);
+    EXPECT_EQ(canonical(a), canonical(b));
+    // cgs shift by exactly the same offset.
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const util::Vec2 d = b[i].cg - a[i].cg;
+        EXPECT_NEAR(d.x, shift.x, 1e-9);
+        EXPECT_NEAR(d.y, shift.y, 1e-9);
+    }
+}
+
+TEST_P(ClustererMetamorphic, ScalingPointsAndRadiusTogether) {
+    // Doubling all coordinates and r_error yields the same membership.
+    EventClusterer c1(5.0);
+    EventClusterer c2(10.0);
+    const auto pts = random_points(GetParam(), 30);
+    std::vector<util::Vec2> scaled;
+    for (const auto& p : pts) scaled.push_back(p * 2.0);
+    EXPECT_EQ(canonical(c1.cluster(pts)), canonical(c2.cluster(scaled)));
+}
+
+TEST_P(ClustererMetamorphic, LargerRadiusNeverMoreClusters) {
+    const auto pts = random_points(GetParam(), 35);
+    std::size_t prev = pts.size() + 1;
+    for (double r : {2.0, 5.0, 10.0, 25.0, 200.0}) {
+        const auto n = EventClusterer(r).cluster(pts).size();
+        EXPECT_LE(n, prev) << "r_error=" << r;
+        prev = n;
+    }
+    EXPECT_EQ(prev, 1u);  // a field-sized radius puts everything together
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClustererMetamorphic, ::testing::Values(1, 7, 42, 99, 1234));
+
+class ArbiterMetamorphic : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArbiterMetamorphic, ReporterOrderIrrelevant) {
+    util::Rng rng(GetParam());
+    TrustManager tm{TrustParams{}};
+    for (NodeId n = 0; n < 10; ++n) {
+        const auto faults = rng.uniform_index(5);
+        for (std::uint64_t k = 0; k < faults; ++k) tm.judge_faulty(n);
+    }
+    BinaryArbiter arb(tm, DecisionPolicy::TrustIndex);
+    std::vector<NodeId> all(10);
+    std::iota(all.begin(), all.end(), 0);
+    std::vector<NodeId> reporters{7, 2, 5, 0};
+    auto shuffled = reporters;
+    std::reverse(shuffled.begin(), shuffled.end());
+
+    const auto a = arb.decide(all, reporters, false);
+    const auto b = arb.decide(all, shuffled, false);
+    EXPECT_EQ(a.event_declared, b.event_declared);
+    EXPECT_EQ(a.reporters, b.reporters);
+    EXPECT_DOUBLE_EQ(a.weight_reporters, b.weight_reporters);
+}
+
+TEST_P(ArbiterMetamorphic, AddingTrustedReporterNeverFlipsToReject) {
+    util::Rng rng(GetParam() + 100);
+    TrustManager tm{TrustParams{}};
+    for (NodeId n = 0; n < 10; ++n) {
+        const auto faults = rng.uniform_index(4);
+        for (std::uint64_t k = 0; k < faults; ++k) tm.judge_faulty(n);
+    }
+    BinaryArbiter arb(tm, DecisionPolicy::TrustIndex);
+    std::vector<NodeId> all(10);
+    std::iota(all.begin(), all.end(), 0);
+    // Any reporter set that declares still declares after one more silent
+    // node becomes a reporter (weight moves from NR to R).
+    std::vector<NodeId> reporters{1, 3, 5};
+    const auto before = arb.decide(all, reporters, false);
+    if (before.event_declared && !before.silent.empty()) {
+        reporters.push_back(before.silent.front());
+        const auto after = arb.decide(all, reporters, false);
+        EXPECT_TRUE(after.event_declared);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArbiterMetamorphic, ::testing::Values(3, 17, 31, 55));
+
+TEST(LocationMetamorphic, BaselineMatchesTrustWithFreshTable) {
+    // With every TI at 1, TIBFIT and majority voting must agree exactly.
+    util::Rng rng(5);
+    std::vector<util::Vec2> pos;
+    for (int i = 0; i < 25; ++i) pos.push_back(rng.point_in_rect(100, 100));
+    std::vector<EventReport> reports;
+    const util::Vec2 event{40, 40};
+    for (NodeId n = 0; n < 25; ++n) {
+        if (util::distance(pos[n], event) <= 20.0 && rng.chance(0.8)) {
+            EventReport r;
+            r.reporter = n;
+            r.time = 0.0;
+            r.location = event + rng.gaussian_offset(1.6);
+            reports.push_back(r);
+        }
+    }
+    TrustManager fresh{TrustParams{}};
+    LocationArbiter tibfit(fresh, DecisionPolicy::TrustIndex, 20.0, 5.0);
+    const auto a = tibfit.decide(reports, pos, false);
+    const auto b = majority_vote_location(reports, pos, 20.0, 5.0);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].event_declared, b[i].event_declared);
+        EXPECT_EQ(a[i].reporters, b[i].reporters);
+        EXPECT_EQ(a[i].location, b[i].location);
+    }
+}
+
+}  // namespace
+}  // namespace tibfit::core

@@ -1,0 +1,129 @@
+#include "sensor/mobility.h"
+
+#include <gtest/gtest.h>
+
+#include "net/channel.h"
+
+namespace tibfit::sensor {
+namespace {
+
+net::ChannelParams lossless() {
+    net::ChannelParams p;
+    p.drop_probability = 0.0;
+    return p;
+}
+
+class MobilityTest : public ::testing::Test {
+  protected:
+    MobilityTest() : channel_(simulator_, util::Rng(1), lossless()) {}
+
+    std::unique_ptr<SensorNode> make_node(sim::ProcessId id, util::Vec2 pos) {
+        FaultParams fp;
+        auto node = std::make_unique<SensorNode>(
+            simulator_, id, pos, 20.0, net::Radio(channel_, id),
+            std::make_unique<CorrectBehavior>(fp), util::Rng(id + 7), core::TrustParams{});
+        channel_.attach(*node, pos, 200.0);
+        return node;
+    }
+
+    MobilityParams params() {
+        MobilityParams p;
+        p.speed_min = 2.0;
+        p.speed_max = 2.0;
+        p.pause = 0.0;
+        p.tick = 0.5;
+        p.field_w = 100.0;
+        p.field_h = 100.0;
+        return p;
+    }
+
+    sim::Simulator simulator_;
+    net::Channel channel_;
+};
+
+TEST_F(MobilityTest, RejectsBadParams) {
+    auto p = params();
+    p.tick = 0.0;
+    EXPECT_THROW(MobilityManager(simulator_, util::Rng(1), p), std::invalid_argument);
+    p = params();
+    p.speed_max = p.speed_min - 1.0;
+    EXPECT_THROW(MobilityManager(simulator_, util::Rng(1), p), std::invalid_argument);
+}
+
+TEST_F(MobilityTest, NodesActuallyMove) {
+    auto node = make_node(0, {50, 50});
+    MobilityManager m(simulator_, util::Rng(3), params());
+    m.manage(*node, channel_);
+    m.start(20.0);
+    simulator_.run();
+    EXPECT_NE(node->position(), util::Vec2(50, 50));
+    // Channel position tracks the node.
+    EXPECT_EQ(channel_.position(0), node->position());
+}
+
+TEST_F(MobilityTest, SpeedBoundsRespected) {
+    auto node = make_node(0, {50, 50});
+    MobilityManager m(simulator_, util::Rng(5), params());
+    m.manage(*node, channel_);
+
+    util::Vec2 prev = node->position();
+    double max_step = 0.0;
+    m.on_tick([&] {
+        max_step = std::max(max_step, util::distance(prev, node->position()));
+        prev = node->position();
+    });
+    m.start(60.0);
+    simulator_.run();
+    // speed 2.0 * tick 0.5 = 1.0 per tick, never exceeded.
+    EXPECT_LE(max_step, 1.0 + 1e-9);
+    EXPECT_GT(max_step, 0.0);
+}
+
+TEST_F(MobilityTest, StaysInField) {
+    std::vector<std::unique_ptr<SensorNode>> nodes;
+    MobilityManager m(simulator_, util::Rng(7), params());
+    for (int i = 0; i < 5; ++i) {
+        nodes.push_back(make_node(static_cast<sim::ProcessId>(i),
+                                  {20.0 * static_cast<double>(i), 50.0}));
+        m.manage(*nodes.back(), channel_);
+    }
+    bool in_field = true;
+    m.on_tick([&] {
+        for (const auto& n : nodes) {
+            const auto& p = n->position();
+            if (p.x < 0 || p.x > 100 || p.y < 0 || p.y > 100) in_field = false;
+        }
+    });
+    m.start(200.0);
+    simulator_.run();
+    EXPECT_TRUE(in_field);
+    EXPECT_GT(m.legs_completed(), 0u);  // waypoints were reached and renewed
+}
+
+TEST_F(MobilityTest, TicksStopAtDeadline) {
+    auto node = make_node(0, {50, 50});
+    MobilityManager m(simulator_, util::Rng(9), params());
+    m.manage(*node, channel_);
+    int ticks = 0;
+    m.on_tick([&] { ++ticks; });
+    m.start(5.0);
+    simulator_.run();
+    EXPECT_EQ(ticks, 10);  // 5.0 / 0.5
+    EXPECT_TRUE(simulator_.idle());
+}
+
+TEST_F(MobilityTest, PauseHoldsPosition) {
+    auto p = params();
+    p.pause = 100.0;  // long pause: after reaching the first waypoint, stop
+    p.speed_min = p.speed_max = 50.0;  // reach it fast
+    auto node = make_node(0, {50, 50});
+    MobilityManager m(simulator_, util::Rng(11), p);
+    m.manage(*node, channel_);
+    m.start(30.0);
+    simulator_.run();
+    // One leg completed, then paused for the rest of the run.
+    EXPECT_EQ(m.legs_completed(), 1u);
+}
+
+}  // namespace
+}  // namespace tibfit::sensor

@@ -1,0 +1,142 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace tibfit::util {
+namespace {
+
+TEST(Rng, Deterministic) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a() == b()) ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NamedStreamsAreIndependentAndStable) {
+    Rng root(7);
+    Rng s1 = root.stream("alpha");
+    Rng s2 = root.stream("beta");
+    Rng s1_again = root.stream("alpha");
+    EXPECT_EQ(s1(), s1_again());
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (s1() == s2()) ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, IndexedStreamsDiffer) {
+    Rng root(7);
+    Rng a = root.stream("node", 0);
+    Rng b = root.stream("node", 1);
+    EXPECT_NE(a(), b());
+}
+
+TEST(Rng, UniformInRange) {
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform(5.0, 9.0);
+        EXPECT_GE(u, 5.0);
+        EXPECT_LT(u, 9.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+    Rng r(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+    Rng r(5);
+    std::vector<int> counts(7, 0);
+    const int n = 70000;
+    for (int i = 0; i < n; ++i) ++counts[r.uniform_index(7)];
+    for (int c : counts) EXPECT_NEAR(c, n / 7, n / 7 * 0.15);
+}
+
+TEST(Rng, ChanceEdges) {
+    Rng r(9);
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_FALSE(r.chance(-1.0));
+    EXPECT_TRUE(r.chance(1.0));
+    EXPECT_TRUE(r.chance(2.0));
+}
+
+TEST(Rng, ChanceFrequency) {
+    Rng r(13);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) hits += r.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, GaussianMoments) {
+    Rng r(17);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = r.gaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScaled) {
+    Rng r(19);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += r.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+    Rng r(23);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += r.exponential(2.0);
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, PointInRect) {
+    Rng r(29);
+    for (int i = 0; i < 1000; ++i) {
+        const Vec2 p = r.point_in_rect(10.0, 20.0);
+        EXPECT_GE(p.x, 0.0);
+        EXPECT_LT(p.x, 10.0);
+        EXPECT_GE(p.y, 0.0);
+        EXPECT_LT(p.y, 20.0);
+    }
+}
+
+TEST(Rng, GaussianOffsetRadialMeanMatchesRayleigh) {
+    Rng r(31);
+    const double sigma = 4.25;
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) sum += r.gaussian_offset(sigma).norm();
+    // Rayleigh mean = sigma * sqrt(pi/2).
+    EXPECT_NEAR(sum / n, sigma * std::sqrt(M_PI / 2.0), 0.05);
+}
+
+}  // namespace
+}  // namespace tibfit::util

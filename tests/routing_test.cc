@@ -1,0 +1,111 @@
+#include "net/routing.h"
+
+#include <gtest/gtest.h>
+
+namespace tibfit::net {
+namespace {
+
+/// A 5-node line with range 12 and 10-unit spacing: only neighbours hear
+/// each other.
+std::vector<RouterEntry> line() {
+    std::vector<RouterEntry> e;
+    for (int i = 0; i < 5; ++i) {
+        e.push_back({static_cast<sim::ProcessId>(i), {10.0 * i, 0.0}, 12.0});
+    }
+    return e;
+}
+
+TEST(Routing, SelfRoute) {
+    RoutingTable rt(line());
+    EXPECT_EQ(rt.next_hop(2, 2), 2u);
+    EXPECT_EQ(rt.hops(2, 2), 0u);
+}
+
+TEST(Routing, LineHopsAndNextHop) {
+    RoutingTable rt(line());
+    EXPECT_EQ(rt.hops(0, 4), 4u);
+    EXPECT_EQ(rt.next_hop(0, 4), 1u);
+    EXPECT_EQ(rt.next_hop(1, 4), 2u);
+    EXPECT_EQ(rt.next_hop(3, 4), 4u);
+    EXPECT_EQ(rt.hops(4, 0), 4u);
+    EXPECT_EQ(rt.next_hop(4, 0), 3u);
+}
+
+TEST(Routing, UnreachablePartition) {
+    auto e = line();
+    e.push_back({99, {1000.0, 1000.0}, 12.0});
+    RoutingTable rt(std::move(e));
+    EXPECT_FALSE(rt.reachable(0, 99));
+    EXPECT_EQ(rt.next_hop(0, 99), sim::kNoProcess);
+    EXPECT_TRUE(rt.reachable(0, 4));
+}
+
+TEST(Routing, UnknownIds) {
+    RoutingTable rt(line());
+    EXPECT_EQ(rt.next_hop(0, 77), sim::kNoProcess);
+    EXPECT_EQ(rt.next_hop(77, 0), sim::kNoProcess);
+    EXPECT_FALSE(rt.reachable(77, 0));
+}
+
+TEST(Routing, LongRangeNodeIsOneHopOutbound) {
+    // Node 5 has a big radio and sits 10 above node 2: it can transmit to
+    // anyone in one hop, but others must route *to* it through node 2
+    // (the only line node with 5 in range).
+    auto e = line();
+    e.push_back({5, {20.0, 10.0}, 100.0});
+    RoutingTable rt(std::move(e));
+    EXPECT_EQ(rt.hops(5, 0), 1u);
+    EXPECT_EQ(rt.hops(0, 5), 3u);  // 0 -> 1 -> 2 -> 5
+    EXPECT_EQ(rt.next_hop(2, 5), 5u);
+}
+
+TEST(Routing, AsymmetricRangesRespectDirection) {
+    // u hears far, v hears near: u -> v only if v in u's range.
+    std::vector<RouterEntry> e{
+        {0, {0, 0}, 100.0},  // long-range
+        {1, {50, 0}, 10.0},  // short-range
+    };
+    RoutingTable rt(std::move(e));
+    EXPECT_TRUE(rt.reachable(0, 1));   // 0's range covers 1
+    EXPECT_FALSE(rt.reachable(1, 0));  // 1 cannot reach back
+}
+
+TEST(Routing, NeighboursList) {
+    RoutingTable rt(line());
+    const auto n2 = rt.neighbours(2);
+    ASSERT_EQ(n2.size(), 2u);
+    EXPECT_EQ(n2[0], 1u);
+    EXPECT_EQ(n2[1], 3u);
+    EXPECT_EQ(rt.neighbours(0).size(), 1u);
+    EXPECT_TRUE(rt.neighbours(77).empty());
+}
+
+TEST(Routing, RebuildInvalidatesRoutes) {
+    RoutingTable rt(line());
+    EXPECT_EQ(rt.hops(0, 4), 4u);
+    // Move node 0 next to node 4.
+    auto e = line();
+    e[0].position = {35.0, 0.0};
+    rt.rebuild(std::move(e));
+    EXPECT_EQ(rt.hops(0, 4), 1u);
+}
+
+TEST(Routing, GridDiagonalPath) {
+    // 4x4 grid, spacing 10, range 12 (only axis-aligned edges).
+    std::vector<RouterEntry> e;
+    for (int y = 0; y < 4; ++y) {
+        for (int x = 0; x < 4; ++x) {
+            e.push_back({static_cast<sim::ProcessId>(4 * y + x),
+                         {10.0 * x, 10.0 * y},
+                         12.0});
+        }
+    }
+    RoutingTable rt(std::move(e));
+    EXPECT_EQ(rt.hops(0, 15), 6u);  // Manhattan distance in hops
+    // The next hop must be a strict progress step.
+    const auto nh = rt.next_hop(0, 15);
+    EXPECT_TRUE(nh == 1u || nh == 4u);
+}
+
+}  // namespace
+}  // namespace tibfit::net

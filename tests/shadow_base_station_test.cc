@@ -1,0 +1,183 @@
+// Section 3.4 end-to-end: shadow cluster heads mirror the CH, alert the
+// base station on divergence, and the base station's vote overrides a
+// corrupt CH and triggers re-election.
+#include <gtest/gtest.h>
+
+#include "cluster/base_station.h"
+#include "cluster/cluster_head.h"
+#include "cluster/shadow.h"
+#include "net/channel.h"
+
+namespace tibfit::cluster {
+namespace {
+
+net::ChannelParams lossless() {
+    net::ChannelParams p;
+    p.drop_probability = 0.0;
+    return p;
+}
+
+core::EngineConfig engine_config() {
+    core::EngineConfig c;
+    c.policy = core::DecisionPolicy::TrustIndex;
+    c.sensing_radius = 20.0;
+    c.r_error = 5.0;
+    c.t_out = 1.0;
+    c.trust.lambda = 0.25;
+    c.trust.fault_rate = 0.1;
+    return c;
+}
+
+class ShadowTest : public ::testing::Test {
+  protected:
+    static constexpr sim::ProcessId kCh = 100;
+    static constexpr sim::ProcessId kSch1 = 101;
+    static constexpr sim::ProcessId kSch2 = 102;
+    static constexpr sim::ProcessId kBs = 103;
+
+    ShadowTest()
+        : channel_(simulator_, util::Rng(1), lossless()),
+          ch_(simulator_, kCh, net::Radio(channel_, kCh), engine_config()),
+          sch1_(simulator_, kSch1, net::Radio(channel_, kSch1), engine_config(), kCh, kBs),
+          sch2_(simulator_, kSch2, net::Radio(channel_, kSch2), engine_config(), kCh, kBs),
+          bs_(simulator_, kBs, net::Radio(channel_, kBs), engine_config().trust,
+              /*alert_wait=*/0.5) {
+        for (int i = 0; i < 5; ++i) positions_.push_back({static_cast<double>(4 * i), 0.0});
+        ch_.set_topology(positions_);
+        ch_.set_binary_mode(true);
+        ch_.set_base_station(kBs);
+        sch1_.set_topology(positions_);
+        sch1_.set_binary_mode(true);
+        sch2_.set_topology(positions_);
+        sch2_.set_binary_mode(true);
+
+        channel_.attach(ch_, {8, 5}, 1000.0);
+        channel_.attach(sch1_, {9, 5}, 1000.0);
+        channel_.attach(sch2_, {7, 5}, 1000.0);
+        channel_.attach(bs_, {8, 80}, 1000.0);
+        channel_.add_monitor(kSch1, kCh);
+        channel_.add_monitor(kSch2, kCh);
+    }
+
+    void send_report(core::NodeId n) {
+        net::Packet p;
+        p.src = n;
+        p.dst = kCh;
+        p.payload = net::ReportPayload{{}, true, false};
+        channel_.unicast(std::move(p));
+    }
+
+    void attach_nodes() {
+        for (int i = 0; i < 5; ++i) {
+            nodes_.push_back(std::make_unique<NodeStub>(simulator_, i));
+            channel_.attach(*nodes_.back(), positions_[i], 1000.0);
+        }
+    }
+
+    class NodeStub : public sim::Process {
+      public:
+        NodeStub(sim::Simulator& s, sim::ProcessId id) : sim::Process(s, id) {}
+        void handle_packet(const net::Packet&) override {}
+    };
+
+    sim::Simulator simulator_;
+    net::Channel channel_;
+    ClusterHead ch_;
+    ShadowClusterHead sch1_;
+    ShadowClusterHead sch2_;
+    BaseStation bs_;
+    std::vector<util::Vec2> positions_;
+    std::vector<std::unique_ptr<NodeStub>> nodes_;
+};
+
+TEST_F(ShadowTest, ShadowsAgreeWithHonestCh) {
+    attach_nodes();
+    send_report(0);
+    send_report(1);
+    send_report(2);
+    simulator_.run();
+    EXPECT_EQ(sch1_.alerts_sent(), 0u);
+    EXPECT_EQ(sch2_.alerts_sent(), 0u);
+    EXPECT_GE(sch1_.agreements(), 1u);
+    ASSERT_EQ(bs_.final_decisions().size(), 1u);
+    EXPECT_TRUE(bs_.final_decisions()[0].event_declared);
+    EXPECT_FALSE(bs_.final_decisions()[0].overridden);
+    EXPECT_EQ(bs_.overrides(), 0u);
+}
+
+TEST_F(ShadowTest, CorruptChIsOutvotedAndDemoted) {
+    attach_nodes();
+    ch_.set_corrupt(true);
+    bool reelected = false;
+    sim::ProcessId demoted = sim::kNoProcess;
+    bs_.on_reelection([&](sim::ProcessId faulty) {
+        reelected = true;
+        demoted = faulty;
+    });
+
+    send_report(0);
+    send_report(1);
+    send_report(2);
+    simulator_.run();
+
+    EXPECT_EQ(sch1_.alerts_sent(), 1u);
+    EXPECT_EQ(sch2_.alerts_sent(), 1u);
+    ASSERT_EQ(bs_.final_decisions().size(), 1u);
+    // Shadows' conclusion (event occurred) wins over the corrupt "no event".
+    EXPECT_TRUE(bs_.final_decisions()[0].event_declared);
+    EXPECT_TRUE(bs_.final_decisions()[0].overridden);
+    EXPECT_EQ(bs_.overrides(), 1u);
+    EXPECT_TRUE(reelected);
+    EXPECT_EQ(demoted, kCh);
+    EXPECT_LT(bs_.ch_trust(kCh), 1.0);
+}
+
+TEST_F(ShadowTest, SingleDissentDoesNotOverride) {
+    attach_nodes();
+    // Detach one shadow's monitoring: it sees no reports and files nothing;
+    // the other shadow agrees with the honest CH.
+    channel_.remove_monitor(kSch2, kCh);
+    send_report(0);
+    send_report(1);
+    send_report(2);
+    simulator_.run();
+    ASSERT_EQ(bs_.final_decisions().size(), 1u);
+    EXPECT_FALSE(bs_.final_decisions()[0].overridden);
+}
+
+TEST_F(ShadowTest, ArchiveRequestRoundTrip) {
+    bs_.archive().judge_faulty(4);
+    const double v4 = bs_.archive().v(4);
+    ch_.request_archive();
+    simulator_.run();
+    EXPECT_NEAR(ch_.engine().trust().v(4), v4, 1e-12);
+}
+
+TEST_F(ShadowTest, ArchiveDepositOnLeadershipEnd) {
+    attach_nodes();
+    send_report(0);
+    send_report(1);
+    send_report(2);
+    simulator_.run();
+    ch_.end_leadership();
+    simulator_.run();
+    // Nodes 3, 4 were silent losers: their v landed in the archive.
+    EXPECT_GT(bs_.archive().v(3), 0.0);
+    EXPECT_GT(bs_.archive().v(4), 0.0);
+}
+
+TEST_F(ShadowTest, ShadowAdoptsTransferredArchive) {
+    net::TiTransferPayload t;
+    t.v_values = {{1, 2.0}};
+    net::Packet p;
+    p.src = kBs;
+    p.dst = kCh;
+    p.payload = t;
+    channel_.unicast(std::move(p));  // shadows overhear the CH's copy
+    simulator_.run();
+    EXPECT_NEAR(sch1_.engine().trust().v(1), 2.0, 1e-12);
+    EXPECT_NEAR(sch2_.engine().trust().v(1), 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tibfit::cluster

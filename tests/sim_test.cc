@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace tibfit::sim {
+namespace {
+
+TEST(EventQueue, EmptyBehaviour) {
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_THROW(q.next_time(), std::logic_error);
+    EXPECT_THROW(q.pop(), std::logic_error);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+    EventQueue q;
+    std::vector<int> order;
+    q.push(3.0, [&] { order.push_back(3); });
+    q.push(1.0, [&] { order.push_back(1); });
+    q.push(2.0, [&] { order.push_back(2); });
+    while (!q.empty()) q.pop().second();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, StableAtSameTime) {
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        q.push(1.0, [&order, i] { order.push_back(i); });
+    }
+    while (!q.empty()) q.pop().second();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+    EventQueue q;
+    int fired = 0;
+    q.push(1.0, [&] { ++fired; });
+    const EventId id = q.push(2.0, [&] { fired += 10; });
+    q.push(3.0, [&] { ++fired; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));  // double cancel
+    EXPECT_EQ(q.size(), 2u);
+    while (!q.empty()) q.pop().second();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CancelledHeadDoesNotBlockNextTime) {
+    EventQueue q;
+    const EventId id = q.push(1.0, [] {});
+    q.push(2.0, [] {});
+    q.cancel(id);
+    EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(Simulator, ClockAdvancesMonotonically) {
+    Simulator s;
+    std::vector<double> times;
+    s.schedule(2.0, [&] { times.push_back(s.now()); });
+    s.schedule(1.0, [&] { times.push_back(s.now()); });
+    s.run();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_DOUBLE_EQ(times[0], 1.0);
+    EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(Simulator, RejectsPastAndNegative) {
+    Simulator s;
+    EXPECT_THROW(s.schedule(-1.0, [] {}), std::invalid_argument);
+    s.schedule(5.0, [] {});
+    s.run();
+    EXPECT_THROW(s.schedule_at(1.0, [] {}), std::invalid_argument);
+    EXPECT_THROW(s.schedule(0.5, std::function<void()>{}), std::invalid_argument);
+}
+
+TEST(Simulator, NestedScheduling) {
+    Simulator s;
+    std::vector<int> order;
+    s.schedule(1.0, [&] {
+        order.push_back(1);
+        s.schedule(1.0, [&] { order.push_back(3); });
+        s.schedule(0.5, [&] { order.push_back(2); });
+    });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(s.now(), 2.0);
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
+    Simulator s;
+    bool ran = false;
+    s.schedule(1.0, [&] {
+        s.schedule(0.0, [&] {
+            ran = true;
+            EXPECT_DOUBLE_EQ(s.now(), 1.0);
+        });
+    });
+    s.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+    Simulator s;
+    int fired = 0;
+    for (int i = 1; i <= 10; ++i) {
+        s.schedule(static_cast<double>(i), [&] { ++fired; });
+    }
+    const std::size_t ran = s.run_until(5.0);
+    EXPECT_EQ(ran, 5u);
+    EXPECT_EQ(fired, 5);
+    EXPECT_DOUBLE_EQ(s.now(), 5.0);
+    EXPECT_EQ(s.pending(), 5u);
+    s.run();
+    EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, RunUntilAdvancesClockOnEmptyQueue) {
+    Simulator s;
+    s.run_until(42.0);
+    EXPECT_DOUBLE_EQ(s.now(), 42.0);
+}
+
+TEST(Simulator, CancelTimer) {
+    Simulator s;
+    bool fired = false;
+    Timer t = s.schedule(1.0, [&] { fired = true; });
+    EXPECT_TRUE(t.armed());
+    EXPECT_TRUE(s.cancel(t));
+    EXPECT_FALSE(t.armed());
+    EXPECT_FALSE(s.cancel(t));
+    s.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, ExecutedCounter) {
+    Simulator s;
+    for (int i = 0; i < 7; ++i) s.schedule(1.0, [] {});
+    s.run();
+    EXPECT_EQ(s.executed(), 7u);
+    EXPECT_TRUE(s.idle());
+}
+
+TEST(Simulator, StepSingleEvent) {
+    Simulator s;
+    int fired = 0;
+    s.schedule(1.0, [&] { ++fired; });
+    s.schedule(2.0, [&] { ++fired; });
+    EXPECT_TRUE(s.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(s.step());
+    EXPECT_FALSE(s.step());
+    EXPECT_EQ(fired, 2);
+}
+
+}  // namespace
+}  // namespace tibfit::sim

@@ -1,0 +1,99 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tibfit::util {
+namespace {
+
+TEST(Running, EmptyIsZero) {
+    Running r;
+    EXPECT_EQ(r.count(), 0u);
+    EXPECT_EQ(r.mean(), 0.0);
+    EXPECT_EQ(r.variance(), 0.0);
+}
+
+TEST(Running, MeanAndVariance) {
+    Running r;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) r.add(x);
+    EXPECT_DOUBLE_EQ(r.mean(), 5.0);
+    EXPECT_NEAR(r.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+    EXPECT_NEAR(r.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Running, MinMax) {
+    Running r;
+    for (double x : {3.0, -1.0, 7.0, 2.0}) r.add(x);
+    EXPECT_EQ(r.min(), -1.0);
+    EXPECT_EQ(r.max(), 7.0);
+}
+
+TEST(Running, SingleSampleHasZeroCi) {
+    Running r;
+    r.add(5.0);
+    EXPECT_EQ(r.ci95_halfwidth(), 0.0);
+}
+
+TEST(Running, CiShrinksWithSamples) {
+    Running small, large;
+    for (int i = 0; i < 10; ++i) small.add(i % 2);
+    for (int i = 0; i < 1000; ++i) large.add(i % 2);
+    EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(Accuracy, Basics) {
+    Accuracy a;
+    EXPECT_EQ(a.value(), 0.0);
+    a.record(true);
+    a.record(true);
+    a.record(false);
+    a.record(true);
+    EXPECT_EQ(a.total(), 4u);
+    EXPECT_EQ(a.hits(), 3u);
+    EXPECT_DOUBLE_EQ(a.value(), 0.75);
+}
+
+TEST(Accuracy, Reset) {
+    Accuracy a;
+    a.record(true);
+    a.reset();
+    EXPECT_EQ(a.total(), 0u);
+    EXPECT_EQ(a.value(), 0.0);
+}
+
+TEST(Accuracy, WilsonHalfwidthBounded) {
+    Accuracy a;
+    for (int i = 0; i < 100; ++i) a.record(true);
+    const double hw = a.wilson95_halfwidth();
+    EXPECT_GT(hw, 0.0);
+    EXPECT_LT(hw, 0.05);
+    // Interval stays inside [0,1] even at p = 1.
+    EXPECT_LE(a.value() + hw, 1.0 + 0.05);
+}
+
+TEST(Histogram, RejectsBadArguments) {
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndClamping) {
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);    // bin 0
+    h.add(9.9);    // bin 4
+    h.add(-3.0);   // clamps to bin 0
+    h.add(100.0);  // clamps to bin 4
+    EXPECT_EQ(h.bin_count(0), 2u);
+    EXPECT_EQ(h.bin_count(4), 2u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, Quantile) {
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10) + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 5.0, 1.01);
+    EXPECT_NEAR(h.quantile(1.0), 10.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tibfit::util

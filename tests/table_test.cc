@@ -1,0 +1,60 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tibfit::util {
+namespace {
+
+TEST(Table, NumFormatting) {
+    EXPECT_EQ(Table::num(1.0), "1.0");
+    EXPECT_EQ(Table::num(0.8567, 2), "0.86");
+    EXPECT_EQ(Table::num(3.14159, 3), "3.142");
+    EXPECT_EQ(Table::num(100.0, 4), "100.0");
+}
+
+TEST(Table, PrettyPrintContainsCells) {
+    Table t("demo");
+    t.header({"x", "accuracy"});
+    t.row({"40", "0.99"});
+    t.row({"50", "0.95"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("accuracy"), std::string::npos);
+    EXPECT_NE(s.find("0.95"), std::string::npos);
+}
+
+TEST(Table, CsvQuoting) {
+    Table t("csv");
+    t.header({"a", "b"});
+    t.row({"hello, world", "quote\"inside"});
+    std::ostringstream os;
+    t.print_csv(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("\"hello, world\""), std::string::npos);
+    EXPECT_NE(s.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Table, RowValuesUsesPrecision) {
+    Table t("vals");
+    t.row_values({0.123456, 2.0}, 3);
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("0.123"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+    Table t("pad");
+    t.header({"a", "b", "c"});
+    t.row({"1"});
+    std::ostringstream os;
+    t.print(os);  // must not crash and must emit the row
+    EXPECT_NE(os.str().find("1"), std::string::npos);
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace tibfit::util

@@ -1,0 +1,159 @@
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/channel.h"
+
+namespace tibfit::net {
+namespace {
+
+/// A relay-capable test process: embeds a transport, records deliveries.
+class RelayHost : public sim::Process {
+  public:
+    RelayHost(sim::Simulator& s, sim::ProcessId id, Channel& ch, const RoutingTable* rt,
+              TransportParams params = {})
+        : sim::Process(s, id), transport(s, Radio(ch, id), rt, params) {}
+
+    void handle_packet(const Packet& p) override {
+        if (auto d = transport.on_packet(p)) delivered.push_back(*d);
+    }
+
+    ReliableTransport transport;
+    std::vector<Delivered> delivered;
+};
+
+class TransportTest : public ::testing::Test {
+  protected:
+    /// A 4-node line, spacing 10, range 12: 0 -> 3 needs 3 hops.
+    void build(double drop_probability) {
+        ChannelParams cp;
+        cp.drop_probability = drop_probability;
+        channel_ = std::make_unique<Channel>(simulator_, util::Rng(9), cp);
+        std::vector<RouterEntry> entries;
+        for (int i = 0; i < 4; ++i) {
+            entries.push_back({static_cast<sim::ProcessId>(i), {10.0 * i, 0.0}, 12.0});
+        }
+        routes_.rebuild(entries);
+        for (int i = 0; i < 4; ++i) {
+            hosts_.push_back(std::make_unique<RelayHost>(
+                simulator_, static_cast<sim::ProcessId>(i), *channel_, &routes_));
+            channel_->attach(*hosts_.back(), {10.0 * i, 0.0}, 12.0);
+        }
+    }
+
+    ReportPayload report(bool positive = true) {
+        ReportPayload r;
+        r.positive = positive;
+        return r;
+    }
+
+    sim::Simulator simulator_;
+    std::unique_ptr<Channel> channel_;
+    RoutingTable routes_;
+    std::vector<std::unique_ptr<RelayHost>> hosts_;
+};
+
+TEST_F(TransportTest, SingleHopDelivery) {
+    build(0.0);
+    EXPECT_TRUE(hosts_[0]->transport.send(1, report()));
+    simulator_.run();
+    ASSERT_EQ(hosts_[1]->delivered.size(), 1u);
+    EXPECT_EQ(hosts_[1]->delivered[0].source, 0u);
+    EXPECT_EQ(hosts_[0]->transport.in_flight(), 0u);  // ack settled the hop
+}
+
+TEST_F(TransportTest, MultiHopDelivery) {
+    build(0.0);
+    EXPECT_TRUE(hosts_[0]->transport.send(3, report()));
+    simulator_.run();
+    ASSERT_EQ(hosts_[3]->delivered.size(), 1u);
+    EXPECT_EQ(hosts_[3]->delivered[0].source, 0u);
+    // Intermediate hosts forwarded, never "delivered".
+    EXPECT_TRUE(hosts_[1]->delivered.empty());
+    EXPECT_TRUE(hosts_[2]->delivered.empty());
+    EXPECT_EQ(hosts_[1]->transport.forwarded(), 1u);
+    EXPECT_EQ(hosts_[2]->transport.forwarded(), 1u);
+}
+
+TEST_F(TransportTest, NoRouteRefused) {
+    build(0.0);
+    EXPECT_FALSE(hosts_[0]->transport.send(99, report()));
+    EXPECT_EQ(hosts_[0]->transport.in_flight(), 0u);
+}
+
+TEST_F(TransportTest, SurvivesHeavyLoss) {
+    build(0.4);  // 40% per-transmission loss
+    for (int i = 0; i < 20; ++i) hosts_[0]->transport.send(3, report());
+    simulator_.run();
+    // At-least-once with 5 retries per hop: P(hop failure) = 0.4^6 ~ 0.4%,
+    // end-to-end over 3 hops still > 98%. All 20 should make it at this
+    // seed; assert a safe floor and that retransmissions actually fired.
+    EXPECT_GE(hosts_[3]->delivered.size(), 18u);
+    EXPECT_GT(hosts_[0]->transport.retransmissions() +
+                  hosts_[1]->transport.retransmissions() +
+                  hosts_[2]->transport.retransmissions(),
+              0u);
+}
+
+TEST_F(TransportTest, ExactlyOnceDeliveryUnderRetransmission) {
+    // Drop only acks' direction? Simplest: moderate loss + many messages,
+    // then assert no duplicate (source, seq) was delivered.
+    build(0.3);
+    for (int i = 0; i < 30; ++i) hosts_[0]->transport.send(3, report());
+    simulator_.run();
+    // Delivered size must not exceed what was sent (duplicates suppressed).
+    EXPECT_LE(hosts_[3]->delivered.size(), 30u);
+    const std::size_t dups = hosts_[3]->transport.duplicates_suppressed();
+    // With 30% loss some acks vanished, so duplicates were suppressed
+    // somewhere along the path (possibly at intermediate hops).
+    const std::size_t total_dups = dups + hosts_[1]->transport.duplicates_suppressed() +
+                                   hosts_[2]->transport.duplicates_suppressed();
+    EXPECT_GT(total_dups + hosts_[0]->transport.retransmissions(), 0u);
+}
+
+TEST_F(TransportTest, GivesUpAfterMaxRetries) {
+    build(0.0);
+    // Detach the next hop so every transmission is lost.
+    channel_->detach(1);
+    hosts_[0]->transport.send(3, report());
+    simulator_.run();
+    EXPECT_EQ(hosts_[0]->transport.gave_up(), 1u);
+    EXPECT_EQ(hosts_[0]->transport.in_flight(), 0u);
+    EXPECT_TRUE(hosts_[3]->delivered.empty());
+}
+
+TEST_F(TransportTest, TtlBoundsForwarding) {
+    build(0.0);
+    TransportParams tight;
+    tight.ttl = 1;  // enough for one hop only
+    RelayHost sender(simulator_, 10, *channel_, &routes_, tight);
+    channel_->attach(sender, {0.0, 0.1}, 12.0);
+    // Sender is adjacent to host 1 only; destination 3 needs 3 hops > ttl.
+    std::vector<RouterEntry> entries;
+    for (int i = 0; i < 4; ++i) {
+        entries.push_back({static_cast<sim::ProcessId>(i), {10.0 * i, 0.0}, 12.0});
+    }
+    entries.push_back({10, {0.0, 0.1}, 12.0});
+    routes_.rebuild(entries);
+    sender.transport.send(3, report());
+    simulator_.run();
+    EXPECT_TRUE(hosts_[3]->delivered.empty());
+    // Someone along the path dropped it for TTL.
+    EXPECT_GT(hosts_[1]->transport.gave_up() + hosts_[2]->transport.gave_up(), 0u);
+}
+
+TEST_F(TransportTest, SequencesDistinguishMessages) {
+    build(0.0);
+    hosts_[0]->transport.send(3, report(true));
+    hosts_[0]->transport.send(3, report(false));
+    simulator_.run();
+    ASSERT_EQ(hosts_[3]->delivered.size(), 2u);
+    EXPECT_TRUE(hosts_[3]->delivered[0].report.positive);
+    EXPECT_FALSE(hosts_[3]->delivered[1].report.positive);
+}
+
+}  // namespace
+}  // namespace tibfit::net

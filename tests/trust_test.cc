@@ -1,0 +1,176 @@
+#include "core/trust.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tibfit::core {
+namespace {
+
+TrustParams params(double lambda = 0.25, double fr = 0.1, double removal = 0.05) {
+    TrustParams p;
+    p.lambda = lambda;
+    p.fault_rate = fr;
+    p.removal_ti = removal;
+    return p;
+}
+
+TEST(TrustIndex, FreshNodeHasTiOne) {
+    TrustIndex t;
+    EXPECT_DOUBLE_EQ(t.ti(params()), 1.0);
+    EXPECT_DOUBLE_EQ(t.v(), 0.0);
+}
+
+TEST(TrustIndex, FaultyReportRaisesV) {
+    const auto p = params();
+    TrustIndex t;
+    t.record_faulty(p);
+    EXPECT_DOUBLE_EQ(t.v(), 0.9);  // 1 - f_r
+    EXPECT_DOUBLE_EQ(t.ti(p), std::exp(-0.25 * 0.9));
+}
+
+TEST(TrustIndex, CorrectReportLowersVFlooredAtZero) {
+    const auto p = params();
+    TrustIndex t;
+    t.record_correct(p);
+    EXPECT_DOUBLE_EQ(t.v(), 0.0);  // floor
+    t.record_faulty(p);
+    t.record_correct(p);
+    EXPECT_NEAR(t.v(), 0.8, 1e-12);
+}
+
+TEST(TrustIndex, ExponentialPenalty) {
+    // Two nodes, one with twice the faults, has a squared (not halved) TI.
+    const auto p = params();
+    TrustIndex once, twice;
+    once.record_faulty(p);
+    twice.record_faulty(p);
+    twice.record_faulty(p);
+    EXPECT_NEAR(twice.ti(p), once.ti(p) * once.ti(p), 1e-12);
+}
+
+TEST(TrustIndex, ZeroExpectedDriftAtNaturalErrorRate) {
+    // E[dv] = f_r*(1-f_r) - (1-f_r)*f_r = 0: erring once every 1/f_r
+    // events leaves v unchanged over the cycle (when v stays positive).
+    const auto p = params(0.25, 0.1);
+    TrustIndex t;
+    t.record_faulty(p);  // prime v so the floor does not engage
+    const double v0 = t.v();
+    t.record_faulty(p);  // 1 fault ...
+    for (int i = 0; i < 9; ++i) t.record_correct(p);  // ... per 9 correct
+    EXPECT_NEAR(t.v(), v0, 1e-12);
+}
+
+TEST(TrustIndex, FromVClampsNegative) {
+    EXPECT_DOUBLE_EQ(TrustIndex::from_v(-1.0).v(), 0.0);
+    EXPECT_DOUBLE_EQ(TrustIndex::from_v(2.5).v(), 2.5);
+}
+
+TEST(TrustManager, UnknownNodeHasTiOne) {
+    TrustManager tm(params());
+    EXPECT_DOUBLE_EQ(tm.ti(99), 1.0);
+    EXPECT_DOUBLE_EQ(tm.v(99), 0.0);
+    EXPECT_EQ(tm.tracked(), 0u);
+}
+
+TEST(TrustManager, JudgementsUpdateTable) {
+    TrustManager tm(params());
+    tm.judge_faulty(3);
+    EXPECT_LT(tm.ti(3), 1.0);
+    tm.judge_correct(3);
+    EXPECT_NEAR(tm.v(3), 0.8, 1e-12);
+    EXPECT_EQ(tm.tracked(), 1u);
+}
+
+TEST(TrustManager, CumulativeTi) {
+    TrustManager tm(params());
+    tm.judge_faulty(1);
+    const double expected = 1.0 + tm.ti(1) + 1.0;
+    EXPECT_DOUBLE_EQ(tm.cumulative_ti({0, 1, 2}), expected);
+}
+
+TEST(TrustManager, IsolationThreshold) {
+    TrustManager tm(params(0.25, 0.1, 0.5));
+    EXPECT_FALSE(tm.is_isolated(5));
+    // Push TI below 0.5: need v > ln(2)/0.25 = 2.77 -> 4 faults (v=3.6).
+    for (int i = 0; i < 4; ++i) tm.judge_faulty(5);
+    EXPECT_TRUE(tm.is_isolated(5));
+    const auto isolated = tm.isolated_nodes();
+    ASSERT_EQ(isolated.size(), 1u);
+    EXPECT_EQ(isolated[0], 5u);
+}
+
+TEST(TrustManager, IsolationDisabledWithZeroThreshold) {
+    TrustManager tm(params(0.25, 0.1, 0.0));
+    for (int i = 0; i < 100; ++i) tm.judge_faulty(5);
+    EXPECT_FALSE(tm.is_isolated(5));
+}
+
+TEST(TrustManager, ExportImportRoundTrip) {
+    TrustManager a(params());
+    a.judge_faulty(2);
+    a.judge_faulty(2);
+    a.judge_faulty(7);
+    a.judge_correct(7);
+
+    TrustManager b(params());
+    b.import_v(a.export_v());
+    EXPECT_DOUBLE_EQ(b.v(2), a.v(2));
+    EXPECT_DOUBLE_EQ(b.v(7), a.v(7));
+    EXPECT_DOUBLE_EQ(b.ti(2), a.ti(2));
+}
+
+TEST(TrustManager, ExportSortedByNode) {
+    TrustManager tm(params());
+    tm.judge_faulty(9);
+    tm.judge_faulty(1);
+    tm.judge_faulty(4);
+    const auto v = tm.export_v();
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0].first, 1u);
+    EXPECT_EQ(v[1].first, 4u);
+    EXPECT_EQ(v[2].first, 9u);
+}
+
+TEST(TrustManager, ForgetAndReinstate) {
+    TrustManager tm(params());
+    tm.judge_faulty(3);
+    tm.forget(3);
+    EXPECT_DOUBLE_EQ(tm.ti(3), 1.0);
+    tm.judge_faulty(4);
+    tm.reinstate(4);
+    EXPECT_DOUBLE_EQ(tm.ti(4), 1.0);
+    EXPECT_EQ(tm.tracked(), 1u);  // 4 kept with fresh state
+}
+
+// Property sweep: TI always in (0, 1], monotone decreasing in faults.
+class TrustLambdaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TrustLambdaSweep, TiBoundedAndMonotone) {
+    const auto p = params(GetParam(), 0.1);
+    TrustIndex t;
+    double prev = t.ti(p);
+    EXPECT_DOUBLE_EQ(prev, 1.0);
+    for (int i = 0; i < 50; ++i) {
+        t.record_faulty(p);
+        const double ti = t.ti(p);
+        EXPECT_GT(ti, 0.0);
+        EXPECT_LE(ti, 1.0);
+        EXPECT_LT(ti, prev);
+        prev = ti;
+    }
+    for (int i = 0; i < 1000; ++i) {
+        t.record_correct(p);
+        const double ti = t.ti(p);
+        EXPECT_GE(ti, prev);
+        EXPECT_LE(ti, 1.0);
+        prev = ti;
+    }
+    EXPECT_DOUBLE_EQ(prev, 1.0);  // full recovery at the floor
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, TrustLambdaSweep,
+                         ::testing::Values(0.05, 0.1, 0.25, 0.5, 1.0));
+
+}  // namespace
+}  // namespace tibfit::core

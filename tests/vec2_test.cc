@@ -1,0 +1,65 @@
+#include "util/vec2.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace tibfit::util {
+namespace {
+
+TEST(Vec2, DefaultIsOrigin) {
+    Vec2 v;
+    EXPECT_EQ(v.x, 0.0);
+    EXPECT_EQ(v.y, 0.0);
+}
+
+TEST(Vec2, Arithmetic) {
+    const Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+    EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+    EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+    EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+    EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+    EXPECT_EQ(a / 2.0, Vec2(0.5, 1.0));
+}
+
+TEST(Vec2, CompoundAssignment) {
+    Vec2 v{1.0, 1.0};
+    v += {2.0, 3.0};
+    EXPECT_EQ(v, Vec2(3.0, 4.0));
+    v -= {1.0, 1.0};
+    EXPECT_EQ(v, Vec2(2.0, 3.0));
+    v *= 2.0;
+    EXPECT_EQ(v, Vec2(4.0, 6.0));
+}
+
+TEST(Vec2, NormAndDistance) {
+    const Vec2 v{3.0, 4.0};
+    EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+    EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+    EXPECT_DOUBLE_EQ(distance({0, 0}, v), 5.0);
+    EXPECT_DOUBLE_EQ(distance2({1, 1}, {4, 5}), 25.0);
+}
+
+TEST(Vec2, PolarRoundTrip) {
+    const Vec2 d{3.0, 4.0};
+    const Vec2 back = Vec2::from_polar(d.norm(), d.angle());
+    EXPECT_NEAR(back.x, d.x, 1e-12);
+    EXPECT_NEAR(back.y, d.y, 1e-12);
+}
+
+TEST(Vec2, AngleQuadrants) {
+    EXPECT_NEAR(Vec2(1, 0).angle(), 0.0, 1e-12);
+    EXPECT_NEAR(Vec2(0, 1).angle(), M_PI / 2, 1e-12);
+    EXPECT_NEAR(Vec2(-1, 0).angle(), M_PI, 1e-12);
+    EXPECT_NEAR(Vec2(0, -1).angle(), -M_PI / 2, 1e-12);
+}
+
+TEST(Vec2, StreamOutput) {
+    std::ostringstream os;
+    os << Vec2{1.5, -2.0};
+    EXPECT_EQ(os.str(), "(1.5, -2)");
+}
+
+}  // namespace
+}  // namespace tibfit::util
