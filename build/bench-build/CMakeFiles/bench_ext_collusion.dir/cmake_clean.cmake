@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_collusion"
+  "../bench/bench_ext_collusion.pdb"
+  "CMakeFiles/bench_ext_collusion.dir/bench_ext_collusion.cc.o"
+  "CMakeFiles/bench_ext_collusion.dir/bench_ext_collusion.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_collusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

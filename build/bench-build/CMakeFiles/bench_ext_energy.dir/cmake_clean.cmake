@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_energy"
+  "../bench/bench_ext_energy.pdb"
+  "CMakeFiles/bench_ext_energy.dir/bench_ext_energy.cc.o"
+  "CMakeFiles/bench_ext_energy.dir/bench_ext_energy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

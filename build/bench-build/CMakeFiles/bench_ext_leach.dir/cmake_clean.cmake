@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_leach"
+  "../bench/bench_ext_leach.pdb"
+  "CMakeFiles/bench_ext_leach.dir/bench_ext_leach.cc.o"
+  "CMakeFiles/bench_ext_leach.dir/bench_ext_leach.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_leach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_mobility"
+  "../bench/bench_ext_mobility.pdb"
+  "CMakeFiles/bench_ext_mobility.dir/bench_ext_mobility.cc.o"
+  "CMakeFiles/bench_ext_mobility.dir/bench_ext_mobility.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_multihop"
+  "../bench/bench_ext_multihop.pdb"
+  "CMakeFiles/bench_ext_multihop.dir/bench_ext_multihop.cc.o"
+  "CMakeFiles/bench_ext_multihop.dir/bench_ext_multihop.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multihop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_sch"
+  "../bench/bench_ext_sch.pdb"
+  "CMakeFiles/bench_ext_sch.dir/bench_ext_sch.cc.o"
+  "CMakeFiles/bench_ext_sch.dir/bench_ext_sch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_theory"
+  "../bench/bench_ext_theory.pdb"
+  "CMakeFiles/bench_ext_theory.dir/bench_ext_theory.cc.o"
+  "CMakeFiles/bench_ext_theory.dir/bench_ext_theory.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

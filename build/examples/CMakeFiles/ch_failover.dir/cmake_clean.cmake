@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ch_failover.dir/ch_failover.cpp.o"
+  "CMakeFiles/ch_failover.dir/ch_failover.cpp.o.d"
+  "ch_failover"
+  "ch_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ch_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

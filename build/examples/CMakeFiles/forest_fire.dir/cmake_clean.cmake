@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forest_fire.dir/forest_fire.cpp.o"
+  "CMakeFiles/forest_fire.dir/forest_fire.cpp.o.d"
+  "forest_fire"
+  "forest_fire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forest_fire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

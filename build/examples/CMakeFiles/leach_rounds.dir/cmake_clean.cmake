@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leach_rounds.dir/leach_rounds.cpp.o"
+  "CMakeFiles/leach_rounds.dir/leach_rounds.cpp.o.d"
+  "leach_rounds"
+  "leach_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leach_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_decay.dir/network_decay.cpp.o"
+  "CMakeFiles/network_decay.dir/network_decay.cpp.o.d"
+  "network_decay"
+  "network_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perimeter_watch.dir/perimeter_watch.cpp.o"
+  "CMakeFiles/perimeter_watch.dir/perimeter_watch.cpp.o.d"
+  "perimeter_watch"
+  "perimeter_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perimeter_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for perimeter_watch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_organizing.dir/self_organizing.cpp.o"
+  "CMakeFiles/self_organizing.dir/self_organizing.cpp.o.d"
+  "self_organizing"
+  "self_organizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_organizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for self_organizing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/target_tracking.dir/target_tracking.cpp.o"
+  "CMakeFiles/target_tracking.dir/target_tracking.cpp.o.d"
+  "target_tracking"
+  "target_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/target_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

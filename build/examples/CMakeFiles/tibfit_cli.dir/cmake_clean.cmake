@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tibfit_cli.dir/tibfit_cli.cpp.o"
+  "CMakeFiles/tibfit_cli.dir/tibfit_cli.cpp.o.d"
+  "tibfit_cli"
+  "tibfit_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tibfit_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

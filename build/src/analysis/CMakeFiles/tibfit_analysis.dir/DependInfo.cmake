@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/baseline_model.cc" "src/analysis/CMakeFiles/tibfit_analysis.dir/baseline_model.cc.o" "gcc" "src/analysis/CMakeFiles/tibfit_analysis.dir/baseline_model.cc.o.d"
+  "/root/repo/src/analysis/binomial.cc" "src/analysis/CMakeFiles/tibfit_analysis.dir/binomial.cc.o" "gcc" "src/analysis/CMakeFiles/tibfit_analysis.dir/binomial.cc.o.d"
+  "/root/repo/src/analysis/location_model.cc" "src/analysis/CMakeFiles/tibfit_analysis.dir/location_model.cc.o" "gcc" "src/analysis/CMakeFiles/tibfit_analysis.dir/location_model.cc.o.d"
+  "/root/repo/src/analysis/rayleigh.cc" "src/analysis/CMakeFiles/tibfit_analysis.dir/rayleigh.cc.o" "gcc" "src/analysis/CMakeFiles/tibfit_analysis.dir/rayleigh.cc.o.d"
+  "/root/repo/src/analysis/ti_dynamics.cc" "src/analysis/CMakeFiles/tibfit_analysis.dir/ti_dynamics.cc.o" "gcc" "src/analysis/CMakeFiles/tibfit_analysis.dir/ti_dynamics.cc.o.d"
+  "/root/repo/src/analysis/trust_trajectory.cc" "src/analysis/CMakeFiles/tibfit_analysis.dir/trust_trajectory.cc.o" "gcc" "src/analysis/CMakeFiles/tibfit_analysis.dir/trust_trajectory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tibfit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

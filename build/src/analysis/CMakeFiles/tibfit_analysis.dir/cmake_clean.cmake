@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tibfit_analysis.dir/baseline_model.cc.o"
+  "CMakeFiles/tibfit_analysis.dir/baseline_model.cc.o.d"
+  "CMakeFiles/tibfit_analysis.dir/binomial.cc.o"
+  "CMakeFiles/tibfit_analysis.dir/binomial.cc.o.d"
+  "CMakeFiles/tibfit_analysis.dir/location_model.cc.o"
+  "CMakeFiles/tibfit_analysis.dir/location_model.cc.o.d"
+  "CMakeFiles/tibfit_analysis.dir/rayleigh.cc.o"
+  "CMakeFiles/tibfit_analysis.dir/rayleigh.cc.o.d"
+  "CMakeFiles/tibfit_analysis.dir/ti_dynamics.cc.o"
+  "CMakeFiles/tibfit_analysis.dir/ti_dynamics.cc.o.d"
+  "CMakeFiles/tibfit_analysis.dir/trust_trajectory.cc.o"
+  "CMakeFiles/tibfit_analysis.dir/trust_trajectory.cc.o.d"
+  "libtibfit_analysis.a"
+  "libtibfit_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tibfit_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

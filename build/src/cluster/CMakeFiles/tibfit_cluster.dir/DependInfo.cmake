@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/base_station.cc" "src/cluster/CMakeFiles/tibfit_cluster.dir/base_station.cc.o" "gcc" "src/cluster/CMakeFiles/tibfit_cluster.dir/base_station.cc.o.d"
+  "/root/repo/src/cluster/cluster_head.cc" "src/cluster/CMakeFiles/tibfit_cluster.dir/cluster_head.cc.o" "gcc" "src/cluster/CMakeFiles/tibfit_cluster.dir/cluster_head.cc.o.d"
+  "/root/repo/src/cluster/deployment.cc" "src/cluster/CMakeFiles/tibfit_cluster.dir/deployment.cc.o" "gcc" "src/cluster/CMakeFiles/tibfit_cluster.dir/deployment.cc.o.d"
+  "/root/repo/src/cluster/energy.cc" "src/cluster/CMakeFiles/tibfit_cluster.dir/energy.cc.o" "gcc" "src/cluster/CMakeFiles/tibfit_cluster.dir/energy.cc.o.d"
+  "/root/repo/src/cluster/leach.cc" "src/cluster/CMakeFiles/tibfit_cluster.dir/leach.cc.o" "gcc" "src/cluster/CMakeFiles/tibfit_cluster.dir/leach.cc.o.d"
+  "/root/repo/src/cluster/shadow.cc" "src/cluster/CMakeFiles/tibfit_cluster.dir/shadow.cc.o" "gcc" "src/cluster/CMakeFiles/tibfit_cluster.dir/shadow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tibfit_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tibfit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tibfit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tibfit_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/tibfit_sensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

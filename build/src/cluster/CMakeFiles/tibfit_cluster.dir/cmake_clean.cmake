@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tibfit_cluster.dir/base_station.cc.o"
+  "CMakeFiles/tibfit_cluster.dir/base_station.cc.o.d"
+  "CMakeFiles/tibfit_cluster.dir/cluster_head.cc.o"
+  "CMakeFiles/tibfit_cluster.dir/cluster_head.cc.o.d"
+  "CMakeFiles/tibfit_cluster.dir/deployment.cc.o"
+  "CMakeFiles/tibfit_cluster.dir/deployment.cc.o.d"
+  "CMakeFiles/tibfit_cluster.dir/energy.cc.o"
+  "CMakeFiles/tibfit_cluster.dir/energy.cc.o.d"
+  "CMakeFiles/tibfit_cluster.dir/leach.cc.o"
+  "CMakeFiles/tibfit_cluster.dir/leach.cc.o.d"
+  "CMakeFiles/tibfit_cluster.dir/shadow.cc.o"
+  "CMakeFiles/tibfit_cluster.dir/shadow.cc.o.d"
+  "libtibfit_cluster.a"
+  "libtibfit_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tibfit_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline_voter.cc" "src/core/CMakeFiles/tibfit_core.dir/baseline_voter.cc.o" "gcc" "src/core/CMakeFiles/tibfit_core.dir/baseline_voter.cc.o.d"
+  "/root/repo/src/core/binary_arbiter.cc" "src/core/CMakeFiles/tibfit_core.dir/binary_arbiter.cc.o" "gcc" "src/core/CMakeFiles/tibfit_core.dir/binary_arbiter.cc.o.d"
+  "/root/repo/src/core/collusion_detector.cc" "src/core/CMakeFiles/tibfit_core.dir/collusion_detector.cc.o" "gcc" "src/core/CMakeFiles/tibfit_core.dir/collusion_detector.cc.o.d"
+  "/root/repo/src/core/concurrent_manager.cc" "src/core/CMakeFiles/tibfit_core.dir/concurrent_manager.cc.o" "gcc" "src/core/CMakeFiles/tibfit_core.dir/concurrent_manager.cc.o.d"
+  "/root/repo/src/core/decision_engine.cc" "src/core/CMakeFiles/tibfit_core.dir/decision_engine.cc.o" "gcc" "src/core/CMakeFiles/tibfit_core.dir/decision_engine.cc.o.d"
+  "/root/repo/src/core/event_clusterer.cc" "src/core/CMakeFiles/tibfit_core.dir/event_clusterer.cc.o" "gcc" "src/core/CMakeFiles/tibfit_core.dir/event_clusterer.cc.o.d"
+  "/root/repo/src/core/location_arbiter.cc" "src/core/CMakeFiles/tibfit_core.dir/location_arbiter.cc.o" "gcc" "src/core/CMakeFiles/tibfit_core.dir/location_arbiter.cc.o.d"
+  "/root/repo/src/core/trust.cc" "src/core/CMakeFiles/tibfit_core.dir/trust.cc.o" "gcc" "src/core/CMakeFiles/tibfit_core.dir/trust.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tibfit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

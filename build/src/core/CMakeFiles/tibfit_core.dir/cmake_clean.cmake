@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tibfit_core.dir/baseline_voter.cc.o"
+  "CMakeFiles/tibfit_core.dir/baseline_voter.cc.o.d"
+  "CMakeFiles/tibfit_core.dir/binary_arbiter.cc.o"
+  "CMakeFiles/tibfit_core.dir/binary_arbiter.cc.o.d"
+  "CMakeFiles/tibfit_core.dir/collusion_detector.cc.o"
+  "CMakeFiles/tibfit_core.dir/collusion_detector.cc.o.d"
+  "CMakeFiles/tibfit_core.dir/concurrent_manager.cc.o"
+  "CMakeFiles/tibfit_core.dir/concurrent_manager.cc.o.d"
+  "CMakeFiles/tibfit_core.dir/decision_engine.cc.o"
+  "CMakeFiles/tibfit_core.dir/decision_engine.cc.o.d"
+  "CMakeFiles/tibfit_core.dir/event_clusterer.cc.o"
+  "CMakeFiles/tibfit_core.dir/event_clusterer.cc.o.d"
+  "CMakeFiles/tibfit_core.dir/location_arbiter.cc.o"
+  "CMakeFiles/tibfit_core.dir/location_arbiter.cc.o.d"
+  "CMakeFiles/tibfit_core.dir/trust.cc.o"
+  "CMakeFiles/tibfit_core.dir/trust.cc.o.d"
+  "libtibfit_core.a"
+  "libtibfit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tibfit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

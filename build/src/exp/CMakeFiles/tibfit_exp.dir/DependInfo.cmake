@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/binary_experiment.cc" "src/exp/CMakeFiles/tibfit_exp.dir/binary_experiment.cc.o" "gcc" "src/exp/CMakeFiles/tibfit_exp.dir/binary_experiment.cc.o.d"
+  "/root/repo/src/exp/location_experiment.cc" "src/exp/CMakeFiles/tibfit_exp.dir/location_experiment.cc.o" "gcc" "src/exp/CMakeFiles/tibfit_exp.dir/location_experiment.cc.o.d"
+  "/root/repo/src/exp/sweep.cc" "src/exp/CMakeFiles/tibfit_exp.dir/sweep.cc.o" "gcc" "src/exp/CMakeFiles/tibfit_exp.dir/sweep.cc.o.d"
+  "/root/repo/src/exp/trace.cc" "src/exp/CMakeFiles/tibfit_exp.dir/trace.cc.o" "gcc" "src/exp/CMakeFiles/tibfit_exp.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/tibfit_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/tibfit_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tibfit_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tibfit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tibfit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tibfit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tibfit_exp.dir/binary_experiment.cc.o"
+  "CMakeFiles/tibfit_exp.dir/binary_experiment.cc.o.d"
+  "CMakeFiles/tibfit_exp.dir/location_experiment.cc.o"
+  "CMakeFiles/tibfit_exp.dir/location_experiment.cc.o.d"
+  "CMakeFiles/tibfit_exp.dir/sweep.cc.o"
+  "CMakeFiles/tibfit_exp.dir/sweep.cc.o.d"
+  "CMakeFiles/tibfit_exp.dir/trace.cc.o"
+  "CMakeFiles/tibfit_exp.dir/trace.cc.o.d"
+  "libtibfit_exp.a"
+  "libtibfit_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tibfit_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/channel.cc" "src/net/CMakeFiles/tibfit_net.dir/channel.cc.o" "gcc" "src/net/CMakeFiles/tibfit_net.dir/channel.cc.o.d"
+  "/root/repo/src/net/radio.cc" "src/net/CMakeFiles/tibfit_net.dir/radio.cc.o" "gcc" "src/net/CMakeFiles/tibfit_net.dir/radio.cc.o.d"
+  "/root/repo/src/net/routing.cc" "src/net/CMakeFiles/tibfit_net.dir/routing.cc.o" "gcc" "src/net/CMakeFiles/tibfit_net.dir/routing.cc.o.d"
+  "/root/repo/src/net/transport.cc" "src/net/CMakeFiles/tibfit_net.dir/transport.cc.o" "gcc" "src/net/CMakeFiles/tibfit_net.dir/transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tibfit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tibfit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tibfit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

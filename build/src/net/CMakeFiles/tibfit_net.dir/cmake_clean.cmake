@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tibfit_net.dir/channel.cc.o"
+  "CMakeFiles/tibfit_net.dir/channel.cc.o.d"
+  "CMakeFiles/tibfit_net.dir/radio.cc.o"
+  "CMakeFiles/tibfit_net.dir/radio.cc.o.d"
+  "CMakeFiles/tibfit_net.dir/routing.cc.o"
+  "CMakeFiles/tibfit_net.dir/routing.cc.o.d"
+  "CMakeFiles/tibfit_net.dir/transport.cc.o"
+  "CMakeFiles/tibfit_net.dir/transport.cc.o.d"
+  "libtibfit_net.a"
+  "libtibfit_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tibfit_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensor/collusion.cc" "src/sensor/CMakeFiles/tibfit_sensor.dir/collusion.cc.o" "gcc" "src/sensor/CMakeFiles/tibfit_sensor.dir/collusion.cc.o.d"
+  "/root/repo/src/sensor/event_generator.cc" "src/sensor/CMakeFiles/tibfit_sensor.dir/event_generator.cc.o" "gcc" "src/sensor/CMakeFiles/tibfit_sensor.dir/event_generator.cc.o.d"
+  "/root/repo/src/sensor/fault_model.cc" "src/sensor/CMakeFiles/tibfit_sensor.dir/fault_model.cc.o" "gcc" "src/sensor/CMakeFiles/tibfit_sensor.dir/fault_model.cc.o.d"
+  "/root/repo/src/sensor/mobility.cc" "src/sensor/CMakeFiles/tibfit_sensor.dir/mobility.cc.o" "gcc" "src/sensor/CMakeFiles/tibfit_sensor.dir/mobility.cc.o.d"
+  "/root/repo/src/sensor/sensor_node.cc" "src/sensor/CMakeFiles/tibfit_sensor.dir/sensor_node.cc.o" "gcc" "src/sensor/CMakeFiles/tibfit_sensor.dir/sensor_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tibfit_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tibfit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tibfit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tibfit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tibfit_sensor.dir/collusion.cc.o"
+  "CMakeFiles/tibfit_sensor.dir/collusion.cc.o.d"
+  "CMakeFiles/tibfit_sensor.dir/event_generator.cc.o"
+  "CMakeFiles/tibfit_sensor.dir/event_generator.cc.o.d"
+  "CMakeFiles/tibfit_sensor.dir/fault_model.cc.o"
+  "CMakeFiles/tibfit_sensor.dir/fault_model.cc.o.d"
+  "CMakeFiles/tibfit_sensor.dir/mobility.cc.o"
+  "CMakeFiles/tibfit_sensor.dir/mobility.cc.o.d"
+  "CMakeFiles/tibfit_sensor.dir/sensor_node.cc.o"
+  "CMakeFiles/tibfit_sensor.dir/sensor_node.cc.o.d"
+  "libtibfit_sensor.a"
+  "libtibfit_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tibfit_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtibfit_sensor.a"
+)

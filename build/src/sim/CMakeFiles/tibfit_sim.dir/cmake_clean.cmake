@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tibfit_sim.dir/event_queue.cc.o"
+  "CMakeFiles/tibfit_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/tibfit_sim.dir/simulator.cc.o"
+  "CMakeFiles/tibfit_sim.dir/simulator.cc.o.d"
+  "libtibfit_sim.a"
+  "libtibfit_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tibfit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

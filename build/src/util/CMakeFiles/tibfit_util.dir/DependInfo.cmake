@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/ascii_field.cc" "src/util/CMakeFiles/tibfit_util.dir/ascii_field.cc.o" "gcc" "src/util/CMakeFiles/tibfit_util.dir/ascii_field.cc.o.d"
+  "/root/repo/src/util/config.cc" "src/util/CMakeFiles/tibfit_util.dir/config.cc.o" "gcc" "src/util/CMakeFiles/tibfit_util.dir/config.cc.o.d"
+  "/root/repo/src/util/geometry.cc" "src/util/CMakeFiles/tibfit_util.dir/geometry.cc.o" "gcc" "src/util/CMakeFiles/tibfit_util.dir/geometry.cc.o.d"
+  "/root/repo/src/util/log.cc" "src/util/CMakeFiles/tibfit_util.dir/log.cc.o" "gcc" "src/util/CMakeFiles/tibfit_util.dir/log.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/util/CMakeFiles/tibfit_util.dir/rng.cc.o" "gcc" "src/util/CMakeFiles/tibfit_util.dir/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/util/CMakeFiles/tibfit_util.dir/stats.cc.o" "gcc" "src/util/CMakeFiles/tibfit_util.dir/stats.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/util/CMakeFiles/tibfit_util.dir/table.cc.o" "gcc" "src/util/CMakeFiles/tibfit_util.dir/table.cc.o.d"
+  "/root/repo/src/util/vec2.cc" "src/util/CMakeFiles/tibfit_util.dir/vec2.cc.o" "gcc" "src/util/CMakeFiles/tibfit_util.dir/vec2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tibfit_util.dir/ascii_field.cc.o"
+  "CMakeFiles/tibfit_util.dir/ascii_field.cc.o.d"
+  "CMakeFiles/tibfit_util.dir/config.cc.o"
+  "CMakeFiles/tibfit_util.dir/config.cc.o.d"
+  "CMakeFiles/tibfit_util.dir/geometry.cc.o"
+  "CMakeFiles/tibfit_util.dir/geometry.cc.o.d"
+  "CMakeFiles/tibfit_util.dir/log.cc.o"
+  "CMakeFiles/tibfit_util.dir/log.cc.o.d"
+  "CMakeFiles/tibfit_util.dir/rng.cc.o"
+  "CMakeFiles/tibfit_util.dir/rng.cc.o.d"
+  "CMakeFiles/tibfit_util.dir/stats.cc.o"
+  "CMakeFiles/tibfit_util.dir/stats.cc.o.d"
+  "CMakeFiles/tibfit_util.dir/table.cc.o"
+  "CMakeFiles/tibfit_util.dir/table.cc.o.d"
+  "CMakeFiles/tibfit_util.dir/vec2.cc.o"
+  "CMakeFiles/tibfit_util.dir/vec2.cc.o.d"
+  "libtibfit_util.a"
+  "libtibfit_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tibfit_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis_test.cc.o.d"
+  "/root/repo/tests/location_model_test.cc" "tests/CMakeFiles/analysis_test.dir/location_model_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/location_model_test.cc.o.d"
+  "/root/repo/tests/trust_trajectory_test.cc" "tests/CMakeFiles/analysis_test.dir/trust_trajectory_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/trust_trajectory_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/tibfit_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tibfit_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/tibfit_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tibfit_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tibfit_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tibfit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tibfit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tibfit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

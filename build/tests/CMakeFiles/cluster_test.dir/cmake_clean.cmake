@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_test.dir/cluster_head_test.cc.o"
+  "CMakeFiles/cluster_test.dir/cluster_head_test.cc.o.d"
+  "CMakeFiles/cluster_test.dir/deployment_test.cc.o"
+  "CMakeFiles/cluster_test.dir/deployment_test.cc.o.d"
+  "CMakeFiles/cluster_test.dir/leach_test.cc.o"
+  "CMakeFiles/cluster_test.dir/leach_test.cc.o.d"
+  "CMakeFiles/cluster_test.dir/shadow_base_station_test.cc.o"
+  "CMakeFiles/cluster_test.dir/shadow_base_station_test.cc.o.d"
+  "cluster_test"
+  "cluster_test.pdb"
+  "cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/binary_arbiter_test.cc.o"
+  "CMakeFiles/core_test.dir/binary_arbiter_test.cc.o.d"
+  "CMakeFiles/core_test.dir/collusion_detector_test.cc.o"
+  "CMakeFiles/core_test.dir/collusion_detector_test.cc.o.d"
+  "CMakeFiles/core_test.dir/concurrent_manager_test.cc.o"
+  "CMakeFiles/core_test.dir/concurrent_manager_test.cc.o.d"
+  "CMakeFiles/core_test.dir/decision_engine_test.cc.o"
+  "CMakeFiles/core_test.dir/decision_engine_test.cc.o.d"
+  "CMakeFiles/core_test.dir/event_clusterer_test.cc.o"
+  "CMakeFiles/core_test.dir/event_clusterer_test.cc.o.d"
+  "CMakeFiles/core_test.dir/location_arbiter_test.cc.o"
+  "CMakeFiles/core_test.dir/location_arbiter_test.cc.o.d"
+  "CMakeFiles/core_test.dir/metamorphic_test.cc.o"
+  "CMakeFiles/core_test.dir/metamorphic_test.cc.o.d"
+  "CMakeFiles/core_test.dir/trust_test.cc.o"
+  "CMakeFiles/core_test.dir/trust_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_test.dir/channel_test.cc.o"
+  "CMakeFiles/net_test.dir/channel_test.cc.o.d"
+  "CMakeFiles/net_test.dir/routing_test.cc.o"
+  "CMakeFiles/net_test.dir/routing_test.cc.o.d"
+  "CMakeFiles/net_test.dir/transport_test.cc.o"
+  "CMakeFiles/net_test.dir/transport_test.cc.o.d"
+  "net_test"
+  "net_test.pdb"
+  "net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

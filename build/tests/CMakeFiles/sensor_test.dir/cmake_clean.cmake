@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_test.dir/fault_model_test.cc.o"
+  "CMakeFiles/sensor_test.dir/fault_model_test.cc.o.d"
+  "CMakeFiles/sensor_test.dir/mobility_test.cc.o"
+  "CMakeFiles/sensor_test.dir/mobility_test.cc.o.d"
+  "CMakeFiles/sensor_test.dir/sensor_node_test.cc.o"
+  "CMakeFiles/sensor_test.dir/sensor_node_test.cc.o.d"
+  "sensor_test"
+  "sensor_test.pdb"
+  "sensor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test.dir/ascii_field_test.cc.o"
+  "CMakeFiles/util_test.dir/ascii_field_test.cc.o.d"
+  "CMakeFiles/util_test.dir/config_test.cc.o"
+  "CMakeFiles/util_test.dir/config_test.cc.o.d"
+  "CMakeFiles/util_test.dir/geometry_test.cc.o"
+  "CMakeFiles/util_test.dir/geometry_test.cc.o.d"
+  "CMakeFiles/util_test.dir/rng_test.cc.o"
+  "CMakeFiles/util_test.dir/rng_test.cc.o.d"
+  "CMakeFiles/util_test.dir/stats_test.cc.o"
+  "CMakeFiles/util_test.dir/stats_test.cc.o.d"
+  "CMakeFiles/util_test.dir/table_test.cc.o"
+  "CMakeFiles/util_test.dir/table_test.cc.o.d"
+  "CMakeFiles/util_test.dir/vec2_test.cc.o"
+  "CMakeFiles/util_test.dir/vec2_test.cc.o.d"
+  "util_test"
+  "util_test.pdb"
+  "util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
