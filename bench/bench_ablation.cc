@@ -9,12 +9,14 @@
 //   5. CH rotation period (no rotation / 20 / 5 events).
 #include <vector>
 
+#include "exp/bench_io.h"
 #include "exp/location_experiment.h"
 #include "exp/sweep.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
     using namespace tibfit;
+    exp::BenchIo io("bench_ablation", argc, argv);
 
     exp::LocationConfig base;
     base.fault_level = sensor::NodeClass::Level0;
@@ -96,6 +98,11 @@ int main(int argc, char** argv) {
         t.row({"level 2: plain cg -> trust-weighted cg",
                util::Table::num(off, 3) + " -> " + util::Table::num(on, 3)});
     }
-    util::emit(t, argc, argv);
-    return 0;
+    io.emit(t);
+    io.params().set("pct_faulty", base.pct_faulty).set("events", static_cast<long>(base.events));
+    return io.finish([&](obs::Recorder& rec) {
+        exp::LocationConfig c = base;
+        c.recorder = &rec;
+        exp::run_location_experiment(c);
+    });
 }

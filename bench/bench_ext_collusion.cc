@@ -7,12 +7,14 @@
 // The detector closes most of the gap collusion opened.
 #include <vector>
 
+#include "exp/bench_io.h"
 #include "exp/location_experiment.h"
 #include "exp/sweep.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
     using namespace tibfit;
+    exp::BenchIo io("bench_ext_collusion", argc, argv);
 
     exp::LocationConfig base;
     base.fault_level = sensor::NodeClass::Level2;
@@ -57,6 +59,13 @@ int main(int argc, char** argv) {
         }
         t.row_values(row, 3);
     }
-    util::emit(t, argc, argv);
-    return 0;
+    io.emit(t);
+    io.params().set("pct_faulty", 0.3).set("collusion_defense", true);
+    return io.finish([&](obs::Recorder& rec) {
+        exp::LocationConfig c = base;
+        c.pct_faulty = 0.3;
+        c.collusion_defense = true;
+        c.recorder = &rec;
+        exp::run_location_experiment(c);
+    });
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cluster/deployment.h"
+#include "exp/bench_io.h"
 #include "util/table.h"
 
 namespace {
@@ -74,6 +75,7 @@ Lifetime run(double ch_fraction, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
+    tibfit::exp::BenchIo io("bench_ext_energy", argc, argv);
     tibfit::util::Table t(
         "Extension: network lifetime vs CH rotation aggressiveness (64 nodes, 0.05 J)");
     t.header({"ch_fraction", "first death (round)", "half dead (round)",
@@ -84,6 +86,8 @@ int main(int argc, char** argv) {
                std::to_string(life.half_dead_round),
                std::to_string(life.min_led) + ".." + std::to_string(life.max_led)});
     }
-    tibfit::util::emit(t, argc, argv);
-    return 0;
+    io.emit(t);
+    // The lifetime harness drives a Deployment directly; the artifact's
+    // metrics come from the shared default instrumented run.
+    return io.finish();
 }

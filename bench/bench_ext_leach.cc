@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cluster/deployment.h"
+#include "exp/bench_io.h"
 #include "exp/location_experiment.h"
 #include "exp/sweep.h"
 #include "util/table.h"
@@ -88,6 +89,7 @@ double mean_self_organized(double pct, core::DecisionPolicy policy, std::size_t 
 }  // namespace
 
 int main(int argc, char** argv) {
+    tibfit::exp::BenchIo io("bench_ext_leach", argc, argv);
     const std::vector<double> pct = {0.10, 0.30, 0.50};
     const std::size_t runs = 3;
 
@@ -110,6 +112,12 @@ int main(int argc, char** argv) {
         row.push_back(mean_self_organized(p, tibfit::core::DecisionPolicy::MajorityVote, runs));
         t.row_values(row, 3);
     }
-    tibfit::util::emit(t, argc, argv);
-    return 0;
+    io.emit(t);
+    io.params().set("pct_faulty", 0.3);
+    return io.finish([&](tibfit::obs::Recorder& rec) {
+        auto c = dedicated;
+        c.pct_faulty = 0.3;
+        c.recorder = &rec;
+        tibfit::exp::run_location_experiment(c);
+    });
 }

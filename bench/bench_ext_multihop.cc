@@ -9,12 +9,14 @@
 // the protocol is agnostic to how reports arrive, provided they arrive.
 #include <vector>
 
+#include "exp/bench_io.h"
 #include "exp/location_experiment.h"
 #include "exp/sweep.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
     using namespace tibfit;
+    exp::BenchIo io("bench_ext_multihop", argc, argv);
 
     exp::LocationConfig base;
     base.fault_level = sensor::NodeClass::Level0;
@@ -42,6 +44,14 @@ int main(int argc, char** argv) {
         }
         t.row_values(row, 3);
     }
-    util::emit(t, argc, argv);
-    return 0;
+    io.emit(t);
+    io.params().set("pct_faulty", 0.3).set("multihop", true).set("radio_range", 30.0);
+    return io.finish([&](obs::Recorder& rec) {
+        exp::LocationConfig c = base;
+        c.pct_faulty = 0.3;
+        c.multihop = true;
+        c.radio_range = 30.0;
+        c.recorder = &rec;
+        exp::run_location_experiment(c);
+    });
 }

@@ -9,12 +9,14 @@
 // — the paper's "only a single CH failure can be tolerated" in action.
 #include <vector>
 
+#include "exp/bench_io.h"
 #include "exp/binary_experiment.h"
 #include "exp/sweep.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
     using namespace tibfit;
+    exp::BenchIo io("bench_ext_sch", argc, argv);
 
     exp::BinaryConfig base;
     base.n_nodes = 10;
@@ -52,6 +54,14 @@ int main(int argc, char** argv) {
         }
         t.row_values(row, 3);
     }
-    util::emit(t, argc, argv);
-    return 0;
+    io.emit(t);
+    io.params().set("pct_faulty", 0.6).set("corrupt_ch", true).set("use_shadows", true);
+    return io.finish([&](obs::Recorder& rec) {
+        exp::BinaryConfig c = base;
+        c.pct_faulty = 0.6;
+        c.corrupt_ch = true;
+        c.use_shadows = true;
+        c.recorder = &rec;
+        exp::run_binary_experiment(c);
+    });
 }

@@ -12,6 +12,7 @@
 #include "analysis/location_model.h"
 #include "analysis/ti_dynamics.h"
 #include "analysis/trust_trajectory.h"
+#include "exp/bench_io.h"
 #include "exp/binary_experiment.h"
 #include "exp/location_experiment.h"
 #include "exp/sweep.h"
@@ -19,6 +20,7 @@
 
 int main(int argc, char** argv) {
     using namespace tibfit;
+    exp::BenchIo io("bench_ext_theory", argc, argv);
 
     util::Table t("Theory vs simulation: binary model, missed alarms only (N=10, NER 1%)");
     t.header({"% faulty", "mean-field detection", "mean-field TI_faulty@100",
@@ -42,7 +44,7 @@ int main(int argc, char** argv) {
                       exp::mean_binary_accuracy(sim_cfg, 20)},
                      3);
     }
-    util::emit(t, argc, argv);
+    io.emit(t);
 
     util::Table d("Section-5 ideal decay: 100%-accuracy survival vs corruption spacing k "
                   "(N=10, lambda=0.25, analytic root k*=" +
@@ -54,7 +56,7 @@ int main(int argc, char** argv) {
                       static_cast<double>(survived / k)},
                      0);
     }
-    util::emit(d, argc, argv);
+    io.emit(d);
 
     // Location-model closed forms vs simulation, averaged over event
     // positions on the 100x100 grid (edge events have fewer neighbours).
@@ -87,6 +89,13 @@ int main(int argc, char** argv) {
         }
         loc.row_values(row, 3);
     }
-    util::emit(loc, argc, argv);
-    return 0;
+    io.emit(loc);
+    io.params().set("pct_faulty", 0.5).set("correct_ner", 0.01);
+    return io.finish([&](obs::Recorder& rec) {
+        exp::BinaryConfig c = sim_cfg;
+        c.pct_faulty = 0.5;
+        c.correct_ner = 0.01;
+        c.recorder = &rec;
+        exp::run_binary_experiment(c);
+    });
 }

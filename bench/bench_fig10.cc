@@ -5,11 +5,13 @@
 #include <cstdint>
 
 #include "analysis/baseline_model.h"
+#include "exp/bench_io.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
     using tibfit::analysis::baseline_success;
     using tibfit::util::Table;
+    tibfit::exp::BenchIo io("bench_fig10", argc, argv);
 
     constexpr std::uint64_t kN = 10;
     constexpr double kQ = 0.5;
@@ -23,6 +25,8 @@ int main(int argc, char** argv) {
         for (double p : ps) row.push_back(baseline_success(kN, m, p, kQ));
         t.row_values(row, 4);
     }
-    tibfit::util::emit(t, argc, argv);
-    return 0;
+    io.emit(t);
+    // Pure closed-form bench: the artifact's metrics come from the shared
+    // default instrumented run.
+    return io.finish();
 }

@@ -7,10 +7,12 @@
 #include <vector>
 
 #include "analysis/ti_dynamics.h"
+#include "exp/bench_io.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
     using namespace tibfit;
+    exp::BenchIo io("bench_fig11", argc, argv);
     constexpr std::uint64_t kN = 10;
     const std::vector<double> lambdas = {0.05, 0.10, 0.25, 0.50};
 
@@ -21,7 +23,7 @@ int main(int argc, char** argv) {
         for (double l : lambdas) row.push_back(analysis::corruption_margin(k, l, kN));
         t.row_values(row, 4);
     }
-    util::emit(t, argc, argv);
+    io.emit(t);
 
     util::Table roots("Figure 11 roots: minimum tolerable corruption spacing");
     roots.header({"lambda", "root k (events)", "k_max = ln3/lambda"});
@@ -30,6 +32,8 @@ int main(int argc, char** argv) {
                           analysis::max_rounds_for_last_failure(l)},
                          3);
     }
-    util::emit(roots, argc, argv);
-    return 0;
+    io.emit(roots);
+    // Pure closed-form bench: the artifact's metrics come from the shared
+    // default instrumented run.
+    return io.finish();
 }

@@ -7,12 +7,14 @@
 // then falls off at 80-90%.
 #include <vector>
 
+#include "exp/bench_io.h"
 #include "exp/binary_experiment.h"
 #include "exp/sweep.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
     using namespace tibfit;
+    exp::BenchIo io("bench_fig2", argc, argv);
 
     exp::BinaryConfig base;
     base.n_nodes = 10;
@@ -44,6 +46,13 @@ int main(int argc, char** argv) {
         row.push_back(exp::mean_binary_accuracy(b, runs));
         t.row_values(row, 3);
     }
-    util::emit(t, argc, argv);
-    return 0;
+    io.emit(t);
+    io.params().set("pct_faulty", 0.5).set("correct_ner", 0.01);
+    return io.finish([&](obs::Recorder& rec) {
+        exp::BinaryConfig c = base;
+        c.pct_faulty = 0.5;
+        c.correct_ner = 0.01;
+        c.recorder = &rec;
+        exp::run_binary_experiment(c);
+    });
 }

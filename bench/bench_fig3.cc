@@ -8,12 +8,14 @@
 // alarms holds the highest accuracy there.
 #include <vector>
 
+#include "exp/bench_io.h"
 #include "exp/binary_experiment.h"
 #include "exp/sweep.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
     using namespace tibfit;
+    exp::BenchIo io("bench_fig3", argc, argv);
 
     exp::BinaryConfig base;
     base.n_nodes = 10;
@@ -40,6 +42,13 @@ int main(int argc, char** argv) {
         }
         t.row_values(row, 3);
     }
-    util::emit(t, argc, argv);
-    return 0;
+    io.emit(t);
+    io.params().set("pct_faulty", 0.5).set("false_alarm_rate", 0.10);
+    return io.finish([&](obs::Recorder& rec) {
+        exp::BinaryConfig c = base;
+        c.pct_faulty = 0.5;
+        c.false_alarm_rate = 0.10;
+        c.recorder = &rec;
+        exp::run_binary_experiment(c);
+    });
 }

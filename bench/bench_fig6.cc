@@ -8,12 +8,14 @@
 // the baseline but cannot fully tolerate coordinated lies.
 #include <vector>
 
+#include "exp/bench_io.h"
 #include "exp/location_experiment.h"
 #include "exp/sweep.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
     using namespace tibfit;
+    exp::BenchIo io("bench_fig6", argc, argv);
 
     exp::LocationConfig base;
     base.fault_level = sensor::NodeClass::Level2;
@@ -48,6 +50,14 @@ int main(int argc, char** argv) {
         }
         t.row_values(row, 3);
     }
-    util::emit(t, argc, argv);
-    return 0;
+    io.emit(t);
+    io.params().set("pct_faulty", 0.3).set("correct_sigma", 1.6).set("faulty_sigma", 4.25);
+    return io.finish([&](obs::Recorder& rec) {
+        exp::LocationConfig c = base;
+        c.pct_faulty = 0.3;
+        c.correct_sigma = 1.6;
+        c.faulty_sigma = 4.25;
+        c.recorder = &rec;
+        exp::run_location_experiment(c);
+    });
 }

@@ -7,12 +7,14 @@
 // detection accuracy.
 #include <vector>
 
+#include "exp/bench_io.h"
 #include "exp/location_experiment.h"
 #include "exp/sweep.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
     using namespace tibfit;
+    exp::BenchIo io("bench_fig7", argc, argv);
 
     exp::LocationConfig base;
     base.fault_level = sensor::NodeClass::Level0;
@@ -48,6 +50,15 @@ int main(int argc, char** argv) {
         }
         t.row_values(row, 3);
     }
-    util::emit(t, argc, argv);
-    return 0;
+    io.emit(t);
+    io.params().set("pct_faulty", 0.3).set("burst", 2);
+    return io.finish([&](obs::Recorder& rec) {
+        exp::LocationConfig c = base;
+        c.pct_faulty = 0.3;
+        c.correct_sigma = 1.6;
+        c.faulty_sigma = 4.25;
+        c.burst = 2;
+        c.recorder = &rec;
+        exp::run_location_experiment(c);
+    });
 }

@@ -8,12 +8,14 @@
 // same-sigma lines) and holds near 80% accuracy at 60% compromised.
 #include <vector>
 
+#include "exp/bench_io.h"
 #include "exp/location_experiment.h"
 #include "exp/sweep.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
     using namespace tibfit;
+    exp::BenchIo io("bench_fig8", argc, argv);
 
     exp::LocationConfig base;
     base.fault_level = sensor::NodeClass::Level0;
@@ -58,6 +60,13 @@ int main(int argc, char** argv) {
         for (const auto& c : curves) row.push_back(e < c.size() ? c[e] : 0.0);
         t.row_values(row, 3);
     }
-    util::emit(t, argc, argv);
-    return 0;
+    io.emit(t);
+    io.params().set("correct_sigma", 1.6).set("faulty_sigma", 4.25).set("decay", true);
+    return io.finish([&](obs::Recorder& rec) {
+        exp::LocationConfig c = base;
+        c.correct_sigma = 1.6;
+        c.faulty_sigma = 4.25;
+        c.recorder = &rec;
+        exp::run_location_experiment(c);
+    });
 }

@@ -3,12 +3,14 @@
 // with the noisier faulty sigma of 6.0.
 #include <vector>
 
+#include "exp/bench_io.h"
 #include "exp/location_experiment.h"
 #include "exp/sweep.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
     using namespace tibfit;
+    exp::BenchIo io("bench_fig9", argc, argv);
 
     exp::LocationConfig base;
     base.fault_level = sensor::NodeClass::Level0;
@@ -53,6 +55,13 @@ int main(int argc, char** argv) {
         for (const auto& c : curves) row.push_back(e < c.size() ? c[e] : 0.0);
         t.row_values(row, 3);
     }
-    util::emit(t, argc, argv);
-    return 0;
+    io.emit(t);
+    io.params().set("correct_sigma", 1.6).set("faulty_sigma", 6.0).set("decay", true);
+    return io.finish([&](obs::Recorder& rec) {
+        exp::LocationConfig c = base;
+        c.correct_sigma = 1.6;
+        c.faulty_sigma = 6.0;
+        c.recorder = &rec;
+        exp::run_location_experiment(c);
+    });
 }

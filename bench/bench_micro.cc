@@ -4,11 +4,13 @@
 // is cheap enough for a CH-class device (the paper's motes run far less).
 #include <benchmark/benchmark.h>
 
+#include <string_view>
 #include <vector>
 
 #include "core/binary_arbiter.h"
 #include "core/decision_engine.h"
 #include "core/event_clusterer.h"
+#include "exp/bench_io.h"
 #include "exp/binary_experiment.h"
 #include "util/rng.h"
 
@@ -113,4 +115,28 @@ BENCHMARK(BM_WholeBinaryExperiment)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN: the artifact flags (--json/--csv) must be
+// peeled off before google-benchmark sees argv, or it rejects them as
+// unrecognized.
+int main(int argc, char** argv) {
+    std::vector<char*> gb_args{argv[0]};
+    std::vector<char*> io_args{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view a(argv[i]);
+        if (a == "--json" && i + 1 < argc) {
+            io_args.push_back(argv[i]);
+            io_args.push_back(argv[++i]);
+        } else if (a.rfind("--json=", 0) == 0 || a == "--csv") {
+            io_args.push_back(argv[i]);
+        } else {
+            gb_args.push_back(argv[i]);
+        }
+    }
+    int gb_argc = static_cast<int>(gb_args.size());
+    benchmark::Initialize(&gb_argc, gb_args.data());
+    if (benchmark::ReportUnrecognizedArguments(gb_argc, gb_args.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    tibfit::exp::BenchIo io("bench_micro", static_cast<int>(io_args.size()), io_args.data());
+    return io.finish();
+}

@@ -1,11 +1,13 @@
 // Table 1 — the Experiment-1 parameter set, printed from the same
 // BinaryConfig the figure benches execute (so the table can never drift
 // from the code), plus a single verification run per parameter corner.
+#include "exp/bench_io.h"
 #include "exp/binary_experiment.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
     using namespace tibfit;
+    exp::BenchIo io("bench_table1", argc, argv);
 
     exp::BinaryConfig c;
     c.n_nodes = 10;
@@ -26,7 +28,7 @@ int main(int argc, char** argv) {
     t.row({"Events per simulation", std::to_string(c.events)});
     t.row({"lambda", util::Table::num(c.lambda, 2)});
     t.row({"Fault rate f_r", "same as NER"});
-    util::emit(t, argc, argv);
+    io.emit(t);
 
     // Sanity row: one run at each NER corner proves the config executes.
     util::Table v("Table 1 verification runs (50% faulty, seed 1)");
@@ -41,6 +43,14 @@ int main(int argc, char** argv) {
                       res.mean_ti_faulty},
                      3);
     }
-    util::emit(v, argc, argv);
-    return 0;
+    io.emit(v);
+    io.params().set("pct_faulty", 0.5).set("correct_ner", 0.01).set("seed", 1);
+    return io.finish([&](obs::Recorder& rec) {
+        exp::BinaryConfig r = c;
+        r.pct_faulty = 0.5;
+        r.correct_ner = 0.01;
+        r.seed = 1;
+        r.recorder = &rec;
+        exp::run_binary_experiment(r);
+    });
 }

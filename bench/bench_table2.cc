@@ -3,11 +3,13 @@
 // sigmas into "probability a report lands more than r_error off" (the
 // error percentages the paper derives from the joint Gaussian).
 #include "analysis/rayleigh.h"
+#include "exp/bench_io.h"
 #include "exp/location_experiment.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
     using namespace tibfit;
+    exp::BenchIo io("bench_table2", argc, argv);
 
     exp::LocationConfig c;  // defaults are the Table-2 values
 
@@ -27,13 +29,21 @@ int main(int argc, char** argv) {
     t.row({"Fault rate f_r", util::Table::num(c.fault_rate, 2) +
                                  " (differs from NER to absorb channel losses)"});
     t.row({"Smart-node TI hysteresis", "lower 0.5 / upper 0.8"});
-    util::emit(t, argc, argv);
+    io.emit(t);
 
     util::Table e("Table 2 derived error rates: P(report > r_error off), Rayleigh");
     e.header({"sigma", "P(error > 5)"});
     for (double sigma : {1.6, 2.0, 4.25, 6.0}) {
         e.row_values({sigma, analysis::rayleigh_exceed(c.r_error, sigma)}, 4);
     }
-    util::emit(e, argc, argv);
-    return 0;
+    io.emit(e);
+    io.params().set("pct_faulty", 0.3).set("events", 50).set("seed", 1);
+    return io.finish([&](obs::Recorder& rec) {
+        exp::LocationConfig r = c;
+        r.pct_faulty = 0.3;
+        r.events = 50;
+        r.seed = 1;
+        r.recorder = &rec;
+        exp::run_location_experiment(r);
+    });
 }

@@ -10,14 +10,22 @@
 // Prints one result row (or the per-epoch series for mode=decay). Keys not
 // given keep the paper's Table-1/Table-2 defaults. `list=true` prints all
 // recognized keys.
+//
+// Observability: `--metrics <path>` writes the run's metrics registry as a
+// human-readable summary; `--trace <path>` writes the structured decision
+// trace as JSONL (see docs/OBSERVABILITY.md). The legacy `trace=<path>`
+// CSV dump of mode=location is unchanged.
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "exp/binary_experiment.h"
 #include "exp/location_experiment.h"
 #include "exp/sweep.h"
 #include "exp/trace.h"
+#include "obs/recorder.h"
 #include "util/config.h"
 
 namespace {
@@ -35,7 +43,8 @@ void print_keys() {
         "          n_ch  rotation_period  burst  grid=true|false\n"
         "          collusion_defense=true|false  multihop=true|false  radio_range\n"
         "          mobile=true|false  speed_min  speed_max\n"
-        "decay:    decay_initial  decay_step  decay_final  epoch_events\n");
+        "decay:    decay_initial  decay_step  decay_final  epoch_events\n"
+        "flags:    --metrics <path> (metrics summary)  --trace <path> (JSONL trace)\n");
 }
 
 core::DecisionPolicy parse_policy(const std::string& s) {
@@ -51,8 +60,9 @@ sensor::NodeClass parse_level(long level) {
     }
 }
 
-int run_binary(const util::Config& args) {
+int run_binary(const util::Config& args, obs::Recorder* rec) {
     exp::BinaryConfig c;
+    c.recorder = rec;
     c.n_nodes = static_cast<std::size_t>(args.get_int("n_nodes", 10));
     c.pct_faulty = args.get_double("pct_faulty", 0.5);
     c.correct_ner = args.get_double("correct_ner", 0.01);
@@ -117,8 +127,9 @@ exp::LocationConfig location_config(const util::Config& args) {
     return c;
 }
 
-int run_location(const util::Config& args) {
+int run_location(const util::Config& args, obs::Recorder* rec) {
     exp::LocationConfig c = location_config(args);
+    c.recorder = rec;
     const auto runs = static_cast<std::size_t>(args.get_int("runs", 1));
     if (runs > 1) {
         std::printf("accuracy (mean of %zu runs): %.4f\n", runs,
@@ -145,8 +156,9 @@ int run_location(const util::Config& args) {
     return 0;
 }
 
-int run_decay(const util::Config& args) {
+int run_decay(const util::Config& args, obs::Recorder* rec) {
     exp::LocationConfig c = location_config(args);
+    c.recorder = rec;
     c.decay = true;
     c.decay_initial = args.get_double("decay_initial", 0.05);
     c.decay_step = args.get_double("decay_step", 0.05);
@@ -166,17 +178,74 @@ int run_decay(const util::Config& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+    // Peel off the observability flags before the key=value parse; a bare
+    // `--trace=...` token would otherwise be swallowed as an assignment.
+    std::string metrics_path, trace_path;
+    std::vector<char*> rest{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view a(argv[i]);
+        if (a == "--metrics" && i + 1 < argc) {
+            metrics_path = argv[++i];
+        } else if (a.rfind("--metrics=", 0) == 0) {
+            metrics_path = a.substr(std::string_view("--metrics=").size());
+        } else if (a == "--trace" && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (a.rfind("--trace=", 0) == 0) {
+            trace_path = a.substr(std::string_view("--trace=").size());
+        } else if (a == "--metrics" || a == "--trace") {
+            std::fprintf(stderr, "%s requires a path argument\n", argv[i]);
+            return 2;
+        } else {
+            rest.push_back(argv[i]);
+        }
+    }
     util::Config args;
-    args.parse_args(argc, argv);
+    args.parse_args(static_cast<int>(rest.size()), rest.data());
     if (args.get_bool("list", false)) {
         print_keys();
         return 0;
     }
+
+    obs::Recorder recorder;
+    obs::Recorder* rec = nullptr;
+    if (!metrics_path.empty() || !trace_path.empty()) {
+        rec = &recorder;
+        recorder.trace().set_enabled(!trace_path.empty());
+    }
+
     const std::string mode = args.get_string("mode", "location");
-    if (mode == "binary") return run_binary(args);
-    if (mode == "decay") return run_decay(args);
-    if (mode == "location") return run_location(args);
-    std::fprintf(stderr, "unknown mode '%s' (binary|location|decay)\n", mode.c_str());
-    print_keys();
-    return 2;
+    int rc;
+    if (mode == "binary") {
+        rc = run_binary(args, rec);
+    } else if (mode == "decay") {
+        rc = run_decay(args, rec);
+    } else if (mode == "location") {
+        rc = run_location(args, rec);
+    } else {
+        std::fprintf(stderr, "unknown mode '%s' (binary|location|decay)\n", mode.c_str());
+        print_keys();
+        return 2;
+    }
+    if (rc != 0) return rc;
+
+    if (!metrics_path.empty()) {
+        std::ofstream out(metrics_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot open metrics file '%s'\n", metrics_path.c_str());
+            return 1;
+        }
+        recorder.metrics().write_summary(out);
+        std::printf("metrics written to %s\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        if (!out) {
+            std::fprintf(stderr, "cannot open trace file '%s'\n", trace_path.c_str());
+            return 1;
+        }
+        recorder.trace().write_jsonl(out);
+        std::printf("trace written to %s (%zu records)\n", trace_path.c_str(),
+                    recorder.trace().size());
+    }
+    return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/names.h"
+#include "obs/recorder.h"
 #include "util/log.h"
 
 namespace tibfit::cluster {
@@ -64,8 +66,28 @@ const std::vector<util::Vec2>& ClusterHead::engine_positions() const {
     return masked_positions_;
 }
 
+void ClusterHead::set_recorder(obs::Recorder* recorder) {
+    recorder_ = recorder;
+    c_reports_ = c_windows_ = c_decisions_ = c_events_declared_ = nullptr;
+    h_latency_ = h_margin_ = nullptr;
+    if (recorder_) {
+        auto& reg = recorder_->metrics();
+        c_reports_ = &reg.counter(obs::metric::kClusterReportsReceived);
+        c_windows_ = &reg.counter(obs::metric::kClusterWindowsOpened);
+        c_decisions_ = &reg.counter(obs::metric::kClusterDecisions);
+        c_events_declared_ = &reg.counter(obs::metric::kClusterEventsDeclared);
+        h_latency_ = &obs::decision_latency_histogram(reg);
+        h_margin_ = &obs::cti_margin_histogram(reg);
+    }
+    engine_.trust().set_recorder(recorder_);
+    if (transport_) transport_->set_recorder(recorder_);
+}
+
 void ClusterHead::begin_leadership(core::TrustManager table) {
     engine_.adopt_trust(std::move(table));
+    // The adopted table arrives detached; keep the instrumentation alive
+    // across CH rotations.
+    engine_.trust().set_recorder(recorder_);
     active_ = true;
 }
 
@@ -82,6 +104,7 @@ void ClusterHead::end_leadership() {
 
 void ClusterHead::enable_relay(const net::RoutingTable* routes, net::TransportParams params) {
     transport_.emplace(sim(), radio_, routes, params);
+    transport_->set_recorder(recorder_);
 }
 
 void ClusterHead::request_archive() {
@@ -114,6 +137,7 @@ void ClusterHead::handle_packet(const net::Packet& packet) {
         core::TrustManager table(engine_.config().trust);
         table.import_v(transfer->v_values);
         engine_.adopt_trust(std::move(table));
+        engine_.trust().set_recorder(recorder_);
     }
 }
 
@@ -122,6 +146,16 @@ void ClusterHead::handle_report(const net::Packet& packet, const net::ReportPayl
     if (reporter >= node_positions_.size()) return;  // not one of ours
     if (!is_member_.empty() && !is_member_[reporter]) return;  // other cluster's node
 
+    if (recorder_) {
+        c_reports_->inc();
+        if (recorder_->trace().enabled()) {
+            recorder_->trace().append(
+                sim().now(),
+                obs::ReportReceived{reporter, static_cast<std::uint32_t>(id()), report.positive,
+                                    report.has_location});
+        }
+    }
+
     if (binary_mode_) {
         if (!report.positive) return;
         if (!window_open_) {
@@ -129,6 +163,7 @@ void ClusterHead::handle_report(const net::Packet& packet, const net::ReportPayl
             window_opened_at_ = sim().now();
             window_reporters_.clear();
             sim().schedule(engine_.config().t_out, [this] { decide_binary_window(); });
+            note_window_opened(reporter);
         }
         if (std::find(window_reporters_.begin(), window_reporters_.end(), reporter) ==
             window_reporters_.end()) {
@@ -145,6 +180,33 @@ void ClusterHead::handle_report(const net::Packet& packet, const net::ReportPayl
     const bool new_circle = engine_.submit(er);
     if (new_circle) {
         sim().schedule(engine_.config().t_out, [this] { collect_location_windows(); });
+        note_window_opened(reporter);
+    }
+}
+
+void ClusterHead::note_window_opened(core::NodeId first_reporter) {
+    if (!recorder_) return;
+    c_windows_->inc();
+    if (recorder_->trace().enabled()) {
+        recorder_->trace().append(
+            sim().now(), obs::WindowOpened{static_cast<std::uint32_t>(id()), first_reporter});
+    }
+}
+
+void ClusterHead::note_decision(const DecisionRecord& rec) {
+    if (!recorder_) return;
+    c_decisions_->inc();
+    if (rec.event_declared) c_events_declared_->inc();
+    const double latency = rec.time - rec.window_opened;
+    h_latency_->observe(latency);
+    h_margin_->observe(rec.weight_reporters - rec.weight_silent);
+    if (recorder_->trace().enabled()) {
+        recorder_->trace().append(
+            rec.time,
+            obs::DecisionMade{static_cast<std::uint32_t>(id()), rec.seq, rec.event_declared,
+                              rec.has_location, rec.location.x, rec.location.y,
+                              rec.weight_reporters, rec.weight_silent,
+                              static_cast<std::uint32_t>(rec.n_reporters), latency});
     }
 }
 
@@ -169,6 +231,7 @@ void ClusterHead::decide_binary_window() {
     rec.weight_silent = decision.weight_silent;
     rec.n_reporters = decision.reporters.size();
     log_.push_back(rec);
+    note_decision(rec);
 
     // Only a trust-running CH has judgements to announce; the stateless
     // baseline keeps no per-node verdicts (so smart nodes watching their
@@ -200,6 +263,7 @@ void ClusterHead::collect_location_windows() {
         rec.weight_silent = d.weight_silent;
         rec.n_reporters = d.reporters.size();
         log_.push_back(rec);
+        note_decision(rec);
 
         std::vector<core::NodeId> correct, faulty;
         if (engine_.config().policy == core::DecisionPolicy::TrustIndex) {

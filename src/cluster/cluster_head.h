@@ -17,6 +17,12 @@
 #include "sim/process.h"
 #include "util/vec2.h"
 
+namespace tibfit::obs {
+class Counter;
+class HistogramMetric;
+class Recorder;
+}  // namespace tibfit::obs
+
 namespace tibfit::cluster {
 
 /// One entry of the CH's decision log — what the harness scores.
@@ -112,6 +118,13 @@ class ClusterHead : public sim::Process {
     /// Observer invoked at every decision (after logging/broadcasting).
     void on_decision(std::function<void(const DecisionRecord&)> cb) { decision_cb_ = std::move(cb); }
 
+    /// Attaches observability (nullptr detaches): cluster.* counters, the
+    /// decision-latency and CTI-margin histograms, report/window/decision
+    /// trace records. Propagates to the engine's trust table (and
+    /// re-propagates whenever an archive is adopted) and to the relay
+    /// transport, so one call instruments the whole CH stack.
+    void set_recorder(obs::Recorder* recorder);
+
     // sim::Process
     void handle_packet(const net::Packet& packet) override;
 
@@ -119,6 +132,8 @@ class ClusterHead : public sim::Process {
     void handle_report(const net::Packet& packet, const net::ReportPayload& report);
     void decide_binary_window();
     void collect_location_windows();
+    void note_window_opened(core::NodeId first_reporter);
+    void note_decision(const DecisionRecord& rec);
     void announce(const DecisionRecord& rec, const std::vector<core::NodeId>& judged_correct,
                   const std::vector<core::NodeId>& judged_faulty);
 
@@ -147,6 +162,14 @@ class ClusterHead : public sim::Process {
     std::uint64_t next_seq_ = 0;
     std::vector<DecisionRecord> log_;
     std::function<void(const DecisionRecord&)> decision_cb_;
+
+    obs::Recorder* recorder_ = nullptr;
+    obs::Counter* c_reports_ = nullptr;
+    obs::Counter* c_windows_ = nullptr;
+    obs::Counter* c_decisions_ = nullptr;
+    obs::Counter* c_events_declared_ = nullptr;
+    obs::HistogramMetric* h_latency_ = nullptr;
+    obs::HistogramMetric* h_margin_ = nullptr;
 };
 
 }  // namespace tibfit::cluster

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/names.h"
+#include "obs/recorder.h"
+
 namespace tibfit::core {
 
 double TrustIndex::ti(const TrustParams& p) const { return std::exp(-p.lambda * v_); }
@@ -17,9 +20,43 @@ double TrustManager::v(NodeId node) const {
     return it == table_.end() ? 0.0 : it->second.v();
 }
 
-void TrustManager::judge_correct(NodeId node) { table_[node].record_correct(params_); }
+void TrustManager::judge_correct(NodeId node) {
+    auto& idx = table_[node];
+    idx.record_correct(params_);
+    if (recorder_) note_update(node, /*penalty=*/false, idx);
+}
 
-void TrustManager::judge_faulty(NodeId node) { table_[node].record_faulty(params_); }
+void TrustManager::judge_faulty(NodeId node) {
+    auto& idx = table_[node];
+    idx.record_faulty(params_);
+    if (recorder_) note_update(node, /*penalty=*/true, idx);
+}
+
+void TrustManager::set_recorder(obs::Recorder* recorder) {
+    recorder_ = recorder;
+    c_penalties_ = c_rewards_ = nullptr;
+    h_ti_ = nullptr;
+    if (!recorder_) return;
+    auto& reg = recorder_->metrics();
+    c_penalties_ = &reg.counter(obs::metric::kTrustPenalties);
+    c_rewards_ = &reg.counter(obs::metric::kTrustRewards);
+    h_ti_ = &obs::ti_sample_histogram(reg);
+}
+
+void TrustManager::note_update(NodeId node, bool penalty, const TrustIndex& idx) const {
+    if (penalty) {
+        c_penalties_->inc();
+    } else {
+        c_rewards_->inc();
+    }
+    const double ti = idx.ti(params_);
+    h_ti_->observe(ti);
+    if (recorder_->trace().enabled()) {
+        recorder_->trace().append(recorder_->now(),
+                                  obs::TrustUpdated{static_cast<std::uint32_t>(node), penalty,
+                                                    idx.v(), ti});
+    }
+}
 
 double TrustManager::cumulative_ti(const std::vector<NodeId>& nodes) const {
     double sum = 0.0;

@@ -15,6 +15,12 @@
 
 #include "core/report.h"
 
+namespace tibfit::obs {
+class Counter;
+class HistogramMetric;
+class Recorder;
+}  // namespace tibfit::obs
+
 namespace tibfit::core {
 
 /// Tunables of the trust model. The paper uses lambda = 0.1 (Experiment 1)
@@ -125,9 +131,24 @@ class TrustManager {
     /// instead.
     void quarantine(NodeId node);
 
+    /// Counts judgements (trust.penalties / trust.rewards), samples each
+    /// post-update TI into the trust.ti_samples histogram, and — with
+    /// tracing on — emits a TrustUpdated record per judgement, timestamped
+    /// via the recorder's clock. nullptr detaches. The attachment survives
+    /// copies of this value type, but a table *replaced* wholesale (CH
+    /// rotation adopting an archive) starts detached — the owner must
+    /// re-attach.
+    void set_recorder(obs::Recorder* recorder);
+
   private:
+    void note_update(NodeId node, bool penalty, const TrustIndex& idx) const;
+
     TrustParams params_;
     std::unordered_map<NodeId, TrustIndex> table_;
+    obs::Recorder* recorder_ = nullptr;
+    obs::Counter* c_penalties_ = nullptr;
+    obs::Counter* c_rewards_ = nullptr;
+    obs::HistogramMetric* h_ti_ = nullptr;
 };
 
 }  // namespace tibfit::core

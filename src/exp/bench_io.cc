@@ -1,0 +1,77 @@
+#include "exp/bench_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "exp/binary_experiment.h"
+#include "obs/artifact.h"
+#include "obs/recorder.h"
+
+namespace tibfit::exp {
+
+BenchIo::BenchIo(std::string name, int argc, char** argv) : name_(std::move(name)) {
+    argv_.reserve(static_cast<std::size_t>(argc));
+    for (int i = 0; i < argc; ++i) argv_.emplace_back(argv[i]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg(argv[i]);
+        if (arg == "--csv") {
+            csv_ = true;
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path_ = argv[++i];
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_path_ = arg.substr(std::strlen("--json="));
+        } else {
+            params_.parse_assignment(std::string(arg));
+        }
+    }
+}
+
+void BenchIo::emit(const util::Table& t) {
+    if (csv_) {
+        t.print_csv(std::cout);
+    } else {
+        t.print(std::cout);
+    }
+    tables_.push_back(t);
+}
+
+int BenchIo::finish(const std::function<void(obs::Recorder&)>& instrument) {
+    if (json_path_.empty()) return 0;
+    obs::Recorder rec;
+    if (instrument) {
+        instrument(rec);
+    } else {
+        instrument_default_run(rec);
+    }
+    std::ofstream out(json_path_);
+    if (!out) {
+        std::cerr << name_ << ": cannot open " << json_path_ << " for writing\n";
+        return 1;
+    }
+    obs::ArtifactMeta meta;
+    meta.name = name_;
+    meta.argv = argv_;
+    std::vector<const util::Table*> tables;
+    tables.reserve(tables_.size());
+    for (const auto& t : tables_) tables.push_back(&t);
+    obs::write_run_artifact(out, meta, rec.metrics(), &params_, tables);
+    out.flush();
+    if (!out) {
+        std::cerr << name_ << ": failed writing " << json_path_ << '\n';
+        return 1;
+    }
+    return 0;
+}
+
+void instrument_default_run(obs::Recorder& rec) {
+    BinaryConfig cfg;
+    cfg.n_nodes = 10;
+    cfg.pct_faulty = 0.4;
+    cfg.events = 50;
+    cfg.seed = 1;
+    cfg.recorder = &rec;
+    run_binary_experiment(cfg);
+}
+
+}  // namespace tibfit::exp

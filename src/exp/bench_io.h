@@ -1,0 +1,63 @@
+// Shared bench entry/exit plumbing. Every bench routes its tables through
+// a BenchIo so that, besides the usual stdout rendering (pretty or --csv),
+// the run can export a machine-readable artifact:
+//
+//   bench_fig2 --json out.json
+//
+// writes a schema-versioned JSON document with the emitted tables, the
+// echoed parameters, build metadata, and the full metrics registry of one
+// representative instrumented run (the bench supplies it via finish()).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/config.h"
+#include "util/table.h"
+
+namespace tibfit::obs {
+class Recorder;
+}  // namespace tibfit::obs
+
+namespace tibfit::exp {
+
+class BenchIo {
+  public:
+    /// Parses `--json <path>` / `--json=<path>` out of argv and echoes any
+    /// key=value tokens into params().
+    BenchIo(std::string name, int argc, char** argv);
+
+    /// Prints `t` to stdout (CSV with --csv, pretty otherwise) and keeps a
+    /// copy for the artifact.
+    void emit(const util::Table& t);
+
+    /// True when the run should produce a JSON artifact.
+    bool json_requested() const { return !json_path_.empty(); }
+
+    /// Parameters echoed into the artifact. Benches add the knobs of their
+    /// representative run here.
+    util::Config& params() { return params_; }
+
+    /// Call as the last statement of main: `return io.finish(...)`. With
+    /// --json, runs `instrument` — which should execute ONE representative
+    /// experiment with the passed Recorder attached — and writes the
+    /// artifact; without a callback, a small default binary run supplies
+    /// the metrics. Returns the process exit code.
+    int finish(const std::function<void(obs::Recorder&)>& instrument = {});
+
+  private:
+    std::string name_;
+    std::vector<std::string> argv_;
+    bool csv_ = false;
+    std::string json_path_;
+    util::Config params_;
+    std::vector<util::Table> tables_;
+};
+
+/// Fallback instrumented run (analysis-only benches with no simulation of
+/// their own): a small binary experiment, so the artifact still carries a
+/// live metrics registry.
+void instrument_default_run(obs::Recorder& rec);
+
+}  // namespace tibfit::exp

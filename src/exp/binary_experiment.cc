@@ -10,6 +10,8 @@
 #include "cluster/cluster_head.h"
 #include "cluster/shadow.h"
 #include "net/channel.h"
+#include "obs/names.h"
+#include "obs/recorder.h"
 #include "sensor/event_generator.h"
 #include "sensor/sensor_node.h"
 #include "sim/simulator.h"
@@ -28,9 +30,16 @@ BinaryResult run_binary_experiment(const BinaryConfig& config) {
     sim::Simulator simulator;
     util::Rng root(config.seed);
 
+    obs::Recorder* rec = config.recorder;
+    if (rec) {
+        obs::preregister_standard_metrics(rec->metrics());
+        rec->set_clock([&simulator] { return simulator.now(); });
+    }
+
     net::ChannelParams chan_params;
     chan_params.drop_probability = config.channel_drop;
     net::Channel channel(simulator, root.stream("channel"), chan_params);
+    channel.set_recorder(rec);
 
     core::TrustParams trust;
     trust.lambda = config.lambda;
@@ -87,6 +96,7 @@ BinaryResult run_binary_experiment(const BinaryConfig& config) {
     engine_cfg.trust = trust;
 
     cluster::ClusterHead ch(simulator, ch_id, net::Radio(channel, ch_id), engine_cfg);
+    ch.set_recorder(rec);
     ch.set_binary_mode(true);
     ch.set_topology(positions);
     ch.set_corrupt(config.corrupt_ch);
@@ -132,6 +142,16 @@ BinaryResult run_binary_experiment(const BinaryConfig& config) {
 
     std::vector<cluster::DecisionRecord> decisions;
     ch.on_decision([&decisions](const cluster::DecisionRecord& r) { decisions.push_back(r); });
+
+    if (rec) {
+        generator.on_event([rec](const sensor::GeneratedEvent& ev) {
+            if (!rec->trace().enabled()) return;
+            rec->trace().append(
+                ev.time, obs::EventInjected{ev.id, ev.location.x, ev.location.y,
+                                            static_cast<std::uint32_t>(
+                                                ev.event_neighbours.size())});
+        });
+    }
 
     const double start = 5.0;
     generator.schedule_events(config.events, config.event_interval, start);
@@ -209,6 +229,25 @@ BinaryResult run_binary_experiment(const BinaryConfig& config) {
     }
     result.mean_ti_correct = n_c ? sum_c / static_cast<double>(n_c) : 1.0;
     result.mean_ti_faulty = n_f ? sum_f / static_cast<double>(n_f) : 1.0;
+
+    if (config.keep_decisions) result.decisions = decisions;
+
+    if (rec) {
+        auto& reg = rec->metrics();
+        reg.counter(obs::metric::kSimEventsExecuted).inc(simulator.executed());
+        reg.gauge(obs::metric::kSimQueueHighWater)
+            .set_max(static_cast<double>(simulator.queue_high_water()));
+        reg.gauge(obs::metric::kExpAccuracy).set(result.accuracy);
+        reg.gauge(obs::metric::kExpEvents).set(static_cast<double>(result.events));
+        reg.gauge(obs::metric::kExpDetected).set(static_cast<double>(result.detected));
+        const std::size_t n_all = n_c + n_f;
+        reg.gauge(obs::metric::kExpMeanTi)
+            .set(n_all ? (sum_c + sum_f) / static_cast<double>(n_all) : 1.0);
+        reg.gauge(obs::metric::kExpMeanTiCorrect).set(result.mean_ti_correct);
+        reg.gauge(obs::metric::kExpMeanTiFaulty).set(result.mean_ti_faulty);
+        // The simulator dies with this frame; leave no dangling clock.
+        rec->set_clock({});
+    }
     return result;
 }
 

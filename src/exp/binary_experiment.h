@@ -9,10 +9,16 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "cluster/cluster_head.h"
 #include "core/binary_arbiter.h"
 #include "core/trust.h"
 #include "sensor/fault_model.h"
+
+namespace tibfit::obs {
+class Recorder;
+}  // namespace tibfit::obs
 
 namespace tibfit::exp {
 
@@ -44,6 +50,15 @@ struct BinaryConfig {
     bool use_shadows = false;
     /// Section 3.4 failure injection: the CH announces inverted decisions.
     bool corrupt_ch = false;
+
+    /// Optional observability attachment (non-owning; may be nullptr).
+    /// The run wires it through channel, CH, trust table and simulator
+    /// telemetry; instrumentation never touches the RNG, so results are
+    /// bit-identical with or without it.
+    obs::Recorder* recorder = nullptr;
+    /// Copies the CH's decision log into BinaryResult::decisions
+    /// (determinism tests compare these across instrumented runs).
+    bool keep_decisions = false;
 };
 
 /// Scored outcome of one binary run.
@@ -57,6 +72,9 @@ struct BinaryResult {
     double mean_ti_correct = 1.0;   ///< final mean TI of correct nodes
     double mean_ti_faulty = 1.0;    ///< final mean TI of faulty nodes
     std::size_t ch_overrides = 0;   ///< decisions where shadows outvoted the CH
+    /// The CH decision log (only filled when BinaryConfig::keep_decisions;
+    /// with shadows these are the post-override decisions).
+    std::vector<cluster::DecisionRecord> decisions;
 };
 
 /// Runs one complete binary simulation (network, channel, CH, generator).

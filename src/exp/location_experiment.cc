@@ -10,6 +10,8 @@
 #include "cluster/cluster_head.h"
 #include "net/channel.h"
 #include "net/routing.h"
+#include "obs/names.h"
+#include "obs/recorder.h"
 #include "sensor/collusion.h"
 #include "sensor/event_generator.h"
 #include "sensor/mobility.h"
@@ -46,10 +48,17 @@ LocationResult run_location_experiment(const LocationConfig& config) {
     sim::Simulator simulator;
     util::Rng root(config.seed);
 
+    obs::Recorder* rec = config.recorder;
+    if (rec) {
+        obs::preregister_standard_metrics(rec->metrics());
+        rec->set_clock([&simulator] { return simulator.now(); });
+    }
+
     net::ChannelParams chan_params;
     chan_params.drop_probability = config.channel_drop;
     chan_params.airtime = config.channel_airtime;
     net::Channel channel(simulator, root.stream("channel"), chan_params);
+    channel.set_recorder(rec);
 
     core::TrustParams trust;
     trust.lambda = config.lambda;
@@ -138,6 +147,7 @@ LocationResult run_location_experiment(const LocationConfig& config) {
         const auto id = static_cast<sim::ProcessId>(config.n_nodes + c);
         auto head = std::make_unique<cluster::ClusterHead>(simulator, id,
                                                            net::Radio(channel, id), engine_cfg);
+        head->set_recorder(rec);
         head->set_binary_mode(false);
         head->set_topology(positions);
         head->set_base_station(bs_id);
@@ -171,7 +181,10 @@ LocationResult run_location_experiment(const LocationConfig& config) {
             entries.push_back({h->id(), channel.position(h->id()), kRange});
         }
         routes.rebuild(std::move(entries));
-        for (auto& n : nodes) n->enable_relay(&routes);
+        for (auto& n : nodes) {
+            n->enable_relay(&routes);
+            if (auto* t = n->transport()) t->set_recorder(rec);
+        }
         for (auto& h : heads) h->enable_relay(&routes);
     }
 
@@ -213,6 +226,16 @@ LocationResult run_location_experiment(const LocationConfig& config) {
         raw.reserve(nodes.size());
         for (auto& n : nodes) raw.push_back(n.get());
         generator.set_nodes(std::move(raw));
+    }
+
+    if (rec) {
+        generator.on_event([rec](const sensor::GeneratedEvent& ev) {
+            if (!rec->trace().enabled()) return;
+            rec->trace().append(
+                ev.time, obs::EventInjected{ev.id, ev.location.x, ev.location.y,
+                                            static_cast<std::uint32_t>(
+                                                ev.event_neighbours.size())});
+        });
     }
 
     std::size_t total_events = config.events;
@@ -343,6 +366,26 @@ LocationResult run_location_experiment(const LocationConfig& config) {
     if (config.keep_trace) {
         result.trace_events = generator.history();
         result.trace_decisions = std::move(decisions);
+    }
+
+    if (rec) {
+        auto& reg = rec->metrics();
+        reg.counter(obs::metric::kSimEventsExecuted).inc(simulator.executed());
+        reg.gauge(obs::metric::kSimQueueHighWater)
+            .set_max(static_cast<double>(simulator.queue_high_water()));
+        reg.gauge(obs::metric::kExpAccuracy).set(result.accuracy);
+        reg.gauge(obs::metric::kExpEvents).set(static_cast<double>(result.events));
+        reg.gauge(obs::metric::kExpDetected).set(static_cast<double>(result.detected));
+        reg.gauge(obs::metric::kExpFalsePositives)
+            .set(static_cast<double>(result.false_positives));
+        reg.gauge(obs::metric::kExpIsolated).set(static_cast<double>(result.isolated));
+        const std::size_t n_all = n_c + n_f;
+        reg.gauge(obs::metric::kExpMeanTi)
+            .set(n_all ? (sum_c + sum_f) / static_cast<double>(n_all) : 1.0);
+        reg.gauge(obs::metric::kExpMeanTiCorrect).set(result.mean_ti_correct);
+        reg.gauge(obs::metric::kExpMeanTiFaulty).set(result.mean_ti_faulty);
+        // The simulator dies with this frame; leave no dangling clock.
+        rec->set_clock({});
     }
     return result;
 }

@@ -19,6 +19,10 @@
 #include "sensor/event_generator.h"
 #include "sensor/fault_model.h"
 
+namespace tibfit::obs {
+class Recorder;
+}  // namespace tibfit::obs
+
 namespace tibfit::exp {
 
 /// Full parameter set of one location run (Table 2 defaults).
@@ -97,6 +101,12 @@ struct LocationConfig {
     /// Keep the raw ground truth + decision log in the result (for trace
     /// output; off by default to keep sweeps lean).
     bool keep_trace = false;
+
+    /// Optional observability attachment (non-owning; may be nullptr).
+    /// The run wires it through channel, every CH, trust tables, relay
+    /// transports and simulator telemetry; instrumentation never touches
+    /// the RNG, so results are bit-identical with or without it.
+    obs::Recorder* recorder = nullptr;
 };
 
 /// Scored outcome of one location run.

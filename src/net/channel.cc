@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/names.h"
+#include "obs/recorder.h"
+
 namespace tibfit::net {
 
 Channel::Channel(sim::Simulator& sim, util::Rng rng, ChannelParams params)
@@ -67,6 +70,27 @@ void Channel::snoop(const Packet& packet, const Endpoint& src) {
     }
 }
 
+void Channel::set_recorder(obs::Recorder* recorder) {
+    recorder_ = recorder;
+    c_delivered_ = c_dropped_ = c_out_of_range_ = c_collisions_ = nullptr;
+    if (!recorder_) return;
+    auto& reg = recorder_->metrics();
+    c_delivered_ = &reg.counter(obs::metric::kChannelDelivered);
+    c_dropped_ = &reg.counter(obs::metric::kChannelDropped);
+    c_out_of_range_ = &reg.counter(obs::metric::kChannelOutOfRange);
+    c_collisions_ = &reg.counter(obs::metric::kChannelCollisions);
+}
+
+void Channel::note_drop(const Packet& packet, obs::DropReason reason) {
+    if (!recorder_ || !recorder_->trace().enabled()) return;
+    // Only report-carrying packets are trace-worthy; control traffic
+    // (adverts, affiliations, acks, ...) would drown the stream.
+    if (!packet.as<ReportPayload>() && !packet.as<RelayEnvelopePayload>()) return;
+    recorder_->trace().append(
+        sim_->now(), obs::ReportDropped{static_cast<std::uint32_t>(packet.src),
+                                        static_cast<std::uint32_t>(packet.dst), reason});
+}
+
 double Channel::sender_drop_probability(const Endpoint& sender) const {
     return sender.drop_override >= 0.0 ? sender.drop_override : params_.drop_probability;
 }
@@ -81,6 +105,7 @@ void Channel::deliver(Endpoint& to, Packet packet, double dist) {
             process->handle_packet(packet);
         });
         ++delivered_;
+        if (c_delivered_) c_delivered_->inc();
         return;
     }
 
@@ -101,16 +126,22 @@ void Channel::deliver(Endpoint& to, Packet packet, double dist) {
     for (auto& r : flights) {
         if (arrive < r.end && r.start < end) {
             collided = true;
-            if (sim_->cancel(r.timer)) ++collisions_;  // the victim dies mid-air
+            if (sim_->cancel(r.timer)) {  // the victim dies mid-air
+                ++collisions_;
+                if (c_collisions_) c_collisions_->inc();
+            }
         }
     }
     if (collided) {
         ++collisions_;
+        if (c_collisions_) c_collisions_->inc();
+        note_drop(packet, obs::DropReason::Collision);
         flights.push_back(Reception{arrive, end, sim::Timer{}});  // jam marker
         return;
     }
     sim::Timer t = sim_->schedule(delay, [this, process, packet = std::move(packet)]() mutable {
         ++delivered_;
+        if (c_delivered_) c_delivered_->inc();
         process->handle_packet(packet);
     });
     flights.push_back(Reception{arrive, end, t});
@@ -122,17 +153,23 @@ bool Channel::unicast(Packet packet) {
     auto dst_it = endpoints_.find(packet.dst);
     if (dst_it == endpoints_.end()) {
         ++out_of_range_;
+        if (c_out_of_range_) c_out_of_range_->inc();
+        note_drop(packet, obs::DropReason::OutOfRange);
         return false;
     }
     const double dist = util::distance(src_it->second.position, dst_it->second.position);
     if (dist > src_it->second.range) {
         ++out_of_range_;
+        if (c_out_of_range_) c_out_of_range_->inc();
+        note_drop(packet, obs::DropReason::OutOfRange);
         return false;
     }
     packet.sent_at = sim_->now();
     snoop(packet, src_it->second);
     if (rng_.chance(sender_drop_probability(src_it->second))) {
         ++dropped_;
+        if (c_dropped_) c_dropped_->inc();
+        note_drop(packet, obs::DropReason::Natural);
         return false;
     }
     deliver(dst_it->second, std::move(packet), dist);
@@ -152,10 +189,13 @@ std::size_t Channel::broadcast(Packet packet) {
         const double dist = util::distance(src.position, ep.position);
         if (dist > src.range) {
             ++out_of_range_;
+            if (c_out_of_range_) c_out_of_range_->inc();
             continue;
         }
         if (rng_.chance(sender_drop_probability(src))) {
             ++dropped_;
+            if (c_dropped_) c_dropped_->inc();
+            note_drop(packet, obs::DropReason::Natural);
             continue;
         }
         deliver(ep, packet, dist);

@@ -14,6 +14,12 @@
 #include "util/rng.h"
 #include "util/vec2.h"
 
+namespace tibfit::obs {
+class Counter;
+class Recorder;
+enum class DropReason;
+}  // namespace tibfit::obs
+
 namespace tibfit::net {
 
 /// Channel loss/delay tunables.
@@ -76,6 +82,12 @@ class Channel {
     std::size_t out_of_range() const { return out_of_range_; }
     std::size_t collisions() const { return collisions_; }
 
+    /// Mirrors the telemetry counters into `recorder` (nullptr detaches).
+    /// With tracing enabled, drops of report-carrying packets also emit
+    /// ReportDropped trace records. Counter pointers are resolved once here,
+    /// so the send path never does a name lookup.
+    void set_recorder(obs::Recorder* recorder);
+
   private:
     /// One in-flight reception at an endpoint (collision model).
     struct Reception {
@@ -95,6 +107,7 @@ class Channel {
     double sender_drop_probability(const Endpoint& sender) const;
     void deliver(Endpoint& to, Packet packet, double dist);
     void snoop(const Packet& packet, const Endpoint& src);
+    void note_drop(const Packet& packet, obs::DropReason reason);
 
     sim::Simulator* sim_;
     util::Rng rng_;
@@ -106,6 +119,11 @@ class Channel {
     std::size_t dropped_ = 0;
     std::size_t out_of_range_ = 0;
     std::size_t collisions_ = 0;
+    obs::Recorder* recorder_ = nullptr;
+    obs::Counter* c_delivered_ = nullptr;
+    obs::Counter* c_dropped_ = nullptr;
+    obs::Counter* c_out_of_range_ = nullptr;
+    obs::Counter* c_collisions_ = nullptr;
 };
 
 }  // namespace tibfit::net

@@ -1,10 +1,24 @@
 #include "net/transport.h"
 
+#include "obs/names.h"
+#include "obs/recorder.h"
+
 namespace tibfit::net {
 
 ReliableTransport::ReliableTransport(sim::Simulator& sim, Radio radio,
                                      const RoutingTable* routes, TransportParams params)
     : sim_(&sim), radio_(radio), routes_(routes), params_(params) {}
+
+void ReliableTransport::set_recorder(obs::Recorder* recorder) {
+    c_originated_ = c_forwarded_ = c_retransmissions_ = c_gave_up_ = c_duplicates_ = nullptr;
+    if (!recorder) return;
+    auto& reg = recorder->metrics();
+    c_originated_ = &reg.counter(obs::metric::kTransportOriginated);
+    c_forwarded_ = &reg.counter(obs::metric::kTransportForwarded);
+    c_retransmissions_ = &reg.counter(obs::metric::kTransportRetransmissions);
+    c_gave_up_ = &reg.counter(obs::metric::kTransportGaveUp);
+    c_duplicates_ = &reg.counter(obs::metric::kTransportDuplicates);
+}
 
 bool ReliableTransport::send(sim::ProcessId final_dst, ReportPayload report) {
     if (!routes_->reachable(id(), final_dst)) return false;
@@ -16,6 +30,7 @@ bool ReliableTransport::send(sim::ProcessId final_dst, ReportPayload report) {
     env.report = std::move(report);
     seen_.insert(make_key(env.source, env.seq));  // don't loop back to self
     ++originated_;
+    if (c_originated_) c_originated_->inc();
     transmit_hop(env);
     return true;
 }
@@ -24,6 +39,7 @@ void ReliableTransport::transmit_hop(const RelayEnvelopePayload& envelope) {
     const sim::ProcessId hop = routes_->next_hop(id(), envelope.final_dst);
     if (hop == sim::kNoProcess || envelope.ttl == 0) {
         ++gave_up_;
+        if (c_gave_up_) c_gave_up_->inc();
         return;
     }
     const std::uint64_t key = make_key(envelope.source, envelope.seq);
@@ -44,11 +60,13 @@ void ReliableTransport::arm_retransmit(std::uint64_t key) {
         if (it == pending_.end()) return;  // acked meanwhile
         if (it->second.retries_left == 0) {
             ++gave_up_;
+            if (c_gave_up_) c_gave_up_->inc();
             pending_.erase(it);
             return;
         }
         --it->second.retries_left;
         ++retransmissions_;
+        if (c_retransmissions_) c_retransmissions_->inc();
         radio_.send(it->second.next_hop, it->second.envelope);
         arm_retransmit(key);
     });
@@ -78,6 +96,7 @@ std::optional<Delivered> ReliableTransport::on_packet(const Packet& packet) {
     const std::uint64_t key = make_key(env->source, env->seq);
     if (!seen_.insert(key).second) {
         ++duplicates_;
+        if (c_duplicates_) c_duplicates_->inc();
         return std::nullopt;
     }
 
@@ -89,6 +108,7 @@ std::optional<Delivered> ReliableTransport::on_packet(const Packet& packet) {
     }
 
     ++forwarded_;
+    if (c_forwarded_) c_forwarded_->inc();
     transmit_hop(*env);
     return std::nullopt;
 }

@@ -27,6 +27,11 @@
 #include "net/routing.h"
 #include "sim/simulator.h"
 
+namespace tibfit::obs {
+class Counter;
+class Recorder;
+}  // namespace tibfit::obs
+
 namespace tibfit::net {
 
 /// Transport tunables.
@@ -73,6 +78,11 @@ class ReliableTransport {
     /// Envelopes currently awaiting a hop ack.
     std::size_t in_flight() const { return pending_.size(); }
 
+    /// Mirrors the telemetry counters into `recorder` (nullptr detaches).
+    /// Many shims share one recorder; the named counters aggregate over
+    /// every relay in the run.
+    void set_recorder(obs::Recorder* recorder);
+
   private:
     /// Starts (or restarts) the reliable transmission of an envelope to
     /// the next hop toward its final destination.
@@ -101,6 +111,11 @@ class ReliableTransport {
     std::size_t retransmissions_ = 0;
     std::size_t gave_up_ = 0;
     std::size_t duplicates_ = 0;
+    obs::Counter* c_originated_ = nullptr;
+    obs::Counter* c_forwarded_ = nullptr;
+    obs::Counter* c_retransmissions_ = nullptr;
+    obs::Counter* c_gave_up_ = nullptr;
+    obs::Counter* c_duplicates_ = nullptr;
 };
 
 }  // namespace tibfit::net

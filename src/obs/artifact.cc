@@ -1,0 +1,56 @@
+#include "obs/artifact.h"
+
+#include <ostream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/version.h"
+#include "util/config.h"
+#include "util/table.h"
+
+namespace tibfit::obs {
+
+std::string build_revision() { return TIBFIT_BUILD_REVISION; }
+
+void write_run_artifact(std::ostream& os, const ArtifactMeta& meta, const Registry& metrics,
+                        const util::Config* params,
+                        const std::vector<const util::Table*>& tables) {
+    json::Writer w(os, 2);
+    w.begin_object();
+    w.field("schema", kArtifactSchemaVersion);
+    w.field("tool", meta.tool);
+    w.field("name", meta.name);
+    w.field("build", build_revision());
+    w.key("argv").begin_array();
+    for (const auto& a : meta.argv) w.value(a);
+    w.end_array();
+    w.key("params").begin_object();
+    if (params) {
+        for (const auto& k : params->keys()) w.field(k, params->to_string(k));
+    }
+    w.end_object();
+    w.key("metrics");
+    metrics.write_json(w);
+    w.key("tables").begin_array();
+    for (const util::Table* t : tables) {
+        if (!t) continue;
+        w.begin_object();
+        w.field("title", t->title());
+        w.key("header").begin_array();
+        for (const auto& cell : t->header_cells()) w.value(cell);
+        w.end_array();
+        w.key("rows").begin_array();
+        for (const auto& row : t->all_rows()) {
+            w.begin_array();
+            for (const auto& cell : row) w.value(cell);
+            w.end_array();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    os << '\n';
+}
+
+}  // namespace tibfit::obs

@@ -1,0 +1,39 @@
+// Machine-readable run artifact: one JSON document per bench/CLI run,
+// carrying the metrics registry, the echoed parameters, the emitted tables
+// and enough metadata (tool, build revision, argv) to reproduce the run.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tibfit::util {
+class Config;
+class Table;
+}  // namespace tibfit::util
+
+namespace tibfit::obs {
+
+class Registry;
+
+/// Bumped whenever the artifact document gains/loses/renames a field.
+inline constexpr int kArtifactSchemaVersion = 1;
+
+/// Identifying metadata for a run artifact.
+struct ArtifactMeta {
+    std::string tool = "tibfit";
+    std::string name;               ///< bench/CLI name, e.g. "bench_table1"
+    std::vector<std::string> argv;  ///< the invocation, verbatim
+};
+
+/// The build revision baked in at configure time (`git describe`), or
+/// "unknown" when the source tree was not a git checkout.
+std::string build_revision();
+
+/// Writes the full artifact document (pretty-printed JSON, trailing
+/// newline). `params` may be nullptr when the run has no Config echo.
+void write_run_artifact(std::ostream& os, const ArtifactMeta& meta, const Registry& metrics,
+                        const util::Config* params,
+                        const std::vector<const util::Table*>& tables);
+
+}  // namespace tibfit::obs

@@ -1,0 +1,140 @@
+// The simulation-wide metrics registry: named counters, gauges and
+// fixed-bin histograms, built on util::Running / util::Histogram. One
+// Registry spans one run; every instrumented layer resolves its metrics by
+// name once (pointers into the registry are stable) and then increments
+// raw integers/doubles on the hot path — no lookups, no allocation.
+//
+// Export is pull-based through the MetricSink visitor: an in-memory sink
+// for tests, a human-readable summary sink, and a JSON sink (see
+// Registry::write_json) for the bench run artifacts.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "obs/json.h"
+#include "util/stats.h"
+
+namespace tibfit::obs {
+
+/// Monotone event count.
+class Counter {
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins scalar, with a high-water convenience.
+class Gauge {
+  public:
+    void set(double v) { value_ = v; }
+    /// Keeps the maximum of all offered values (queue depth high-water).
+    void set_max(double v) {
+        if (v > value_) value_ = v;
+    }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/// Fixed-bin histogram plus Welford running stats over the same samples,
+/// so exports carry both the distribution and exact mean/min/max.
+class HistogramMetric {
+  public:
+    HistogramMetric(double lo, double hi, std::size_t bins) : hist_(lo, hi, bins) {}
+
+    void observe(double x) {
+        hist_.add(x);
+        stats_.add(x);
+    }
+
+    std::size_t count() const { return stats_.count(); }
+    const util::Histogram& bins() const { return hist_; }
+    const util::Running& stats() const { return stats_; }
+
+  private:
+    util::Histogram hist_;
+    util::Running stats_;
+};
+
+/// Visitor over a registry snapshot. Metrics arrive name-sorted within
+/// each kind; kinds arrive counters, then gauges, then histograms.
+class MetricSink {
+  public:
+    virtual ~MetricSink() = default;
+    virtual void on_counter(const std::string& name, std::uint64_t value) = 0;
+    virtual void on_gauge(const std::string& name, double value) = 0;
+    virtual void on_histogram(const std::string& name, const HistogramMetric& h) = 0;
+};
+
+/// The registry. Metric objects live as long as the registry and never
+/// move: references returned by counter()/gauge()/histogram() stay valid.
+class Registry {
+  public:
+    /// Finds or creates. histogram() ignores (lo, hi, bins) when the name
+    /// already exists — the first creation fixes the layout.
+    Counter& counter(const std::string& name) { return counters_[name]; }
+    Gauge& gauge(const std::string& name) { return gauges_[name]; }
+    HistogramMetric& histogram(const std::string& name, double lo, double hi,
+                               std::size_t bins);
+
+    /// Lookups without creation (nullptr if absent).
+    const Counter* find_counter(const std::string& name) const;
+    const Gauge* find_gauge(const std::string& name) const;
+    const HistogramMetric* find_histogram(const std::string& name) const;
+
+    /// Total distinct named metrics.
+    std::size_t size() const { return counters_.size() + gauges_.size() + histograms_.size(); }
+
+    /// Feeds every metric to the sink.
+    void emit(MetricSink& sink) const;
+
+    /// Human-readable summary (one line per metric).
+    void write_summary(std::ostream& os) const;
+
+    /// JSON object {"counters": {...}, "gauges": {...}, "histograms":
+    /// {...}} written into an open writer (the caller owns the enclosing
+    /// document).
+    void write_json(json::Writer& w) const;
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, HistogramMetric> histograms_;
+};
+
+/// In-memory sink for tests: captures a snapshot into plain maps.
+class MemorySink : public MetricSink {
+  public:
+    void on_counter(const std::string& name, std::uint64_t value) override {
+        counters[name] = value;
+    }
+    void on_gauge(const std::string& name, double value) override { gauges[name] = value; }
+    void on_histogram(const std::string& name, const HistogramMetric& h) override {
+        histogram_counts[name] = h.count();
+    }
+
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, std::size_t> histogram_counts;
+};
+
+/// Human-readable summary sink: one aligned line per metric.
+class SummarySink : public MetricSink {
+  public:
+    explicit SummarySink(std::ostream& os) : os_(&os) {}
+    void on_counter(const std::string& name, std::uint64_t value) override;
+    void on_gauge(const std::string& name, double value) override;
+    void on_histogram(const std::string& name, const HistogramMetric& h) override;
+
+  private:
+    std::ostream* os_;
+};
+
+}  // namespace tibfit::obs

@@ -1,0 +1,67 @@
+// The metric catalogue: every simulation-wide metric name in one place, so
+// the instrumented layers, the pre-registration helper and the docs cannot
+// drift apart. See docs/OBSERVABILITY.md for semantics.
+#pragma once
+
+#include <cstddef>
+
+namespace tibfit::obs {
+
+class Registry;
+class HistogramMetric;
+
+namespace metric {
+
+// sim::Simulator
+inline constexpr const char* kSimEventsExecuted = "sim.events_executed";
+inline constexpr const char* kSimQueueHighWater = "sim.queue_high_water";
+
+// net::Channel
+inline constexpr const char* kChannelDelivered = "net.channel.delivered";
+inline constexpr const char* kChannelDropped = "net.channel.dropped";
+inline constexpr const char* kChannelOutOfRange = "net.channel.out_of_range";
+inline constexpr const char* kChannelCollisions = "net.channel.collisions";
+
+// net::ReliableTransport (aggregated over every relay shim in the run)
+inline constexpr const char* kTransportOriginated = "net.transport.originated";
+inline constexpr const char* kTransportForwarded = "net.transport.forwarded";
+inline constexpr const char* kTransportRetransmissions = "net.transport.retransmissions";
+inline constexpr const char* kTransportGaveUp = "net.transport.gave_up";
+inline constexpr const char* kTransportDuplicates = "net.transport.duplicates";
+
+// cluster::ClusterHead (aggregated over every CH)
+inline constexpr const char* kClusterReportsReceived = "cluster.reports_received";
+inline constexpr const char* kClusterWindowsOpened = "cluster.windows_opened";
+inline constexpr const char* kClusterDecisions = "cluster.decisions";
+inline constexpr const char* kClusterEventsDeclared = "cluster.events_declared";
+inline constexpr const char* kClusterDecisionLatency = "cluster.decision_latency";
+inline constexpr const char* kClusterCtiMargin = "cluster.cti_margin";
+
+// core::TrustManager (aggregated over every instrumented trust table)
+inline constexpr const char* kTrustPenalties = "trust.penalties";
+inline constexpr const char* kTrustRewards = "trust.rewards";
+inline constexpr const char* kTrustTiSamples = "trust.ti_samples";
+
+// Experiment-level outcomes
+inline constexpr const char* kExpAccuracy = "exp.accuracy";
+inline constexpr const char* kExpEvents = "exp.events";
+inline constexpr const char* kExpDetected = "exp.detected";
+inline constexpr const char* kExpFalsePositives = "exp.false_positives";
+inline constexpr const char* kExpIsolated = "exp.isolated";
+inline constexpr const char* kExpMeanTi = "exp.mean_ti";
+inline constexpr const char* kExpMeanTiCorrect = "exp.mean_ti_correct";
+inline constexpr const char* kExpMeanTiFaulty = "exp.mean_ti_faulty";
+
+}  // namespace metric
+
+/// Canonical layouts for the catalogue histograms; finders and creators
+/// must agree, so layers always construct them through these helpers.
+HistogramMetric& decision_latency_histogram(Registry& r);
+HistogramMetric& cti_margin_histogram(Registry& r);
+HistogramMetric& ti_sample_histogram(Registry& r);
+
+/// Creates every catalogue metric (zero-valued) so exported artifacts have
+/// a stable shape regardless of which layers were active in the run.
+void preregister_standard_metrics(Registry& r);
+
+}  // namespace tibfit::obs

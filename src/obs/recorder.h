@@ -1,0 +1,41 @@
+// The per-run observability handle: one metrics Registry + one TraceLog +
+// a clock. Layers accept an optional `obs::Recorder*` (nullptr = fully
+// off); experiments own the Recorder and point the clock at the simulator
+// so layers without a sim reference (the trust tables) can still timestamp
+// trace records.
+//
+// Instrumentation through a Recorder is read-only with respect to the
+// simulation: it never consumes randomness and never schedules events, so
+// enabling it cannot perturb a deterministic run (tests/determinism_test.cc
+// proves this bit-for-bit).
+#pragma once
+
+#include <functional>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tibfit::obs {
+
+class Recorder {
+  public:
+    Registry& metrics() { return metrics_; }
+    const Registry& metrics() const { return metrics_; }
+
+    TraceLog& trace() { return trace_; }
+    const TraceLog& trace() const { return trace_; }
+
+    /// Points the clock at the driving simulator. Experiments must clear
+    /// it (set_clock({})) before the simulator goes out of scope.
+    void set_clock(std::function<double()> clock) { clock_ = std::move(clock); }
+
+    /// Current simulation time, or 0 when no clock is attached.
+    double now() const { return clock_ ? clock_() : 0.0; }
+
+  private:
+    Registry metrics_;
+    TraceLog trace_;
+    std::function<double()> clock_;
+};
+
+}  // namespace tibfit::obs

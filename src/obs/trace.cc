@@ -1,0 +1,212 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace tibfit::obs {
+
+namespace {
+
+constexpr const char* kHeaderType = "trace_header";
+
+struct TypeNameVisitor {
+    const char* operator()(const EventInjected&) const { return "event_injected"; }
+    const char* operator()(const ReportReceived&) const { return "report_received"; }
+    const char* operator()(const ReportDropped&) const { return "report_dropped"; }
+    const char* operator()(const WindowOpened&) const { return "window_opened"; }
+    const char* operator()(const DecisionMade&) const { return "decision_made"; }
+    const char* operator()(const TrustUpdated&) const { return "trust_updated"; }
+};
+
+struct FieldWriter {
+    json::Writer& w;
+
+    void operator()(const EventInjected& r) const {
+        w.field("event_id", r.event_id);
+        w.field("x", r.x);
+        w.field("y", r.y);
+        w.field("n_neighbours", static_cast<std::uint64_t>(r.n_neighbours));
+    }
+    void operator()(const ReportReceived& r) const {
+        w.field("reporter", static_cast<std::uint64_t>(r.reporter));
+        w.field("ch", static_cast<std::uint64_t>(r.ch));
+        w.field("positive", r.positive);
+        w.field("has_location", r.has_location);
+    }
+    void operator()(const ReportDropped& r) const {
+        w.field("src", static_cast<std::uint64_t>(r.src));
+        w.field("dst", static_cast<std::uint64_t>(r.dst));
+        w.field("reason", drop_reason_name(r.reason));
+    }
+    void operator()(const WindowOpened& r) const {
+        w.field("ch", static_cast<std::uint64_t>(r.ch));
+        w.field("first_reporter", static_cast<std::uint64_t>(r.first_reporter));
+    }
+    void operator()(const DecisionMade& r) const {
+        w.field("ch", static_cast<std::uint64_t>(r.ch));
+        w.field("decision_seq", r.decision_seq);
+        w.field("event_declared", r.event_declared);
+        w.field("has_location", r.has_location);
+        w.field("x", r.x);
+        w.field("y", r.y);
+        w.field("weight_reporters", r.weight_reporters);
+        w.field("weight_silent", r.weight_silent);
+        w.field("n_reporters", static_cast<std::uint64_t>(r.n_reporters));
+        w.field("latency", r.latency);
+    }
+    void operator()(const TrustUpdated& r) const {
+        w.field("node", static_cast<std::uint64_t>(r.node));
+        w.field("penalty", r.penalty);
+        w.field("v", r.v);
+        w.field("ti", r.ti);
+    }
+};
+
+DropReason parse_drop_reason(const std::string& s) {
+    if (s == "natural") return DropReason::Natural;
+    if (s == "out_of_range") return DropReason::OutOfRange;
+    if (s == "collision") return DropReason::Collision;
+    throw std::runtime_error("trace: unknown drop reason '" + s + "'");
+}
+
+TracePayload parse_payload(const std::string& type, const json::Value& v) {
+    if (type == "event_injected") {
+        EventInjected r;
+        r.event_id = static_cast<std::uint64_t>(v.number_or("event_id", 0));
+        r.x = v.number_or("x", 0.0);
+        r.y = v.number_or("y", 0.0);
+        r.n_neighbours = static_cast<std::uint32_t>(v.number_or("n_neighbours", 0));
+        return r;
+    }
+    if (type == "report_received") {
+        ReportReceived r;
+        r.reporter = static_cast<std::uint32_t>(v.number_or("reporter", 0));
+        r.ch = static_cast<std::uint32_t>(v.number_or("ch", 0));
+        r.positive = v.bool_or("positive", false);
+        r.has_location = v.bool_or("has_location", false);
+        return r;
+    }
+    if (type == "report_dropped") {
+        ReportDropped r;
+        r.src = static_cast<std::uint32_t>(v.number_or("src", 0));
+        r.dst = static_cast<std::uint32_t>(v.number_or("dst", 0));
+        r.reason = parse_drop_reason(v.string_or("reason", "natural"));
+        return r;
+    }
+    if (type == "window_opened") {
+        WindowOpened r;
+        r.ch = static_cast<std::uint32_t>(v.number_or("ch", 0));
+        r.first_reporter = static_cast<std::uint32_t>(v.number_or("first_reporter", 0));
+        return r;
+    }
+    if (type == "decision_made") {
+        DecisionMade r;
+        r.ch = static_cast<std::uint32_t>(v.number_or("ch", 0));
+        r.decision_seq = static_cast<std::uint64_t>(v.number_or("decision_seq", 0));
+        r.event_declared = v.bool_or("event_declared", false);
+        r.has_location = v.bool_or("has_location", false);
+        r.x = v.number_or("x", 0.0);
+        r.y = v.number_or("y", 0.0);
+        r.weight_reporters = v.number_or("weight_reporters", 0.0);
+        r.weight_silent = v.number_or("weight_silent", 0.0);
+        r.n_reporters = static_cast<std::uint32_t>(v.number_or("n_reporters", 0));
+        r.latency = v.number_or("latency", 0.0);
+        return r;
+    }
+    if (type == "trust_updated") {
+        TrustUpdated r;
+        r.node = static_cast<std::uint32_t>(v.number_or("node", 0));
+        r.penalty = v.bool_or("penalty", false);
+        r.v = v.number_or("v", 0.0);
+        r.ti = v.number_or("ti", 0.0);
+        return r;
+    }
+    throw std::runtime_error("trace: unknown record type '" + type + "'");
+}
+
+}  // namespace
+
+const char* trace_type_name(const TracePayload& payload) {
+    return std::visit(TypeNameVisitor{}, payload);
+}
+
+const char* drop_reason_name(DropReason reason) {
+    switch (reason) {
+        case DropReason::Natural: return "natural";
+        case DropReason::OutOfRange: return "out_of_range";
+        case DropReason::Collision: return "collision";
+    }
+    return "?";
+}
+
+void TraceLog::write_jsonl(std::ostream& os) const {
+    {
+        json::Writer w(os);
+        w.begin_object();
+        w.field("type", kHeaderType);
+        w.field("schema", kTraceSchemaVersion);
+        w.field("source", "tibfit::obs");
+        w.end_object();
+        os << '\n';
+    }
+    // Records are appended in simulation order already; the sort is a
+    // guarantee, not usually work.
+    std::vector<const TraceRecord*> ordered;
+    ordered.reserve(records_.size());
+    for (const auto& r : records_) ordered.push_back(&r);
+    std::stable_sort(ordered.begin(), ordered.end(), [](const auto* a, const auto* b) {
+        if (a->time != b->time) return a->time < b->time;
+        return a->seq < b->seq;
+    });
+    for (const TraceRecord* r : ordered) {
+        json::Writer w(os);
+        w.begin_object();
+        w.field("type", trace_type_name(r->data));
+        w.field("t", r->time);
+        w.field("seq", r->seq);
+        std::visit(FieldWriter{w}, r->data);
+        w.end_object();
+        os << '\n';
+    }
+}
+
+std::vector<TraceRecord> read_trace_jsonl(std::istream& is) {
+    std::vector<TraceRecord> out;
+    std::string line;
+    bool saw_header = false;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty()) continue;
+        json::Value v;
+        try {
+            v = json::parse(line);
+        } catch (const std::exception& e) {
+            throw std::runtime_error("trace line " + std::to_string(lineno) + ": " + e.what());
+        }
+        const std::string type = v.string_or("type", "");
+        if (type == kHeaderType) {
+            const int schema = static_cast<int>(v.number_or("schema", -1));
+            if (schema != kTraceSchemaVersion) {
+                throw std::runtime_error("trace: schema version " + std::to_string(schema) +
+                                         " unsupported (expected " +
+                                         std::to_string(kTraceSchemaVersion) + ")");
+            }
+            saw_header = true;
+            continue;
+        }
+        if (!saw_header) throw std::runtime_error("trace: missing header line");
+        TraceRecord r;
+        r.time = v.number_or("t", 0.0);
+        r.seq = static_cast<std::uint64_t>(v.number_or("seq", 0));
+        r.data = parse_payload(type, v);
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+}  // namespace tibfit::obs

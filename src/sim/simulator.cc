@@ -13,6 +13,7 @@ Timer Simulator::schedule_at(Time at, std::function<void()> action) {
     if (at < now_) throw std::invalid_argument("Simulator::schedule_at: time in the past");
     if (!action) throw std::invalid_argument("Simulator::schedule_at: empty action");
     const EventId id = queue_.push(at, std::move(action));
+    if (queue_.size() > queue_high_water_) queue_high_water_ = queue_.size();
     return Timer(id, true);
 }
 

@@ -65,10 +65,14 @@ class Simulator {
     /// Total events executed since construction.
     std::size_t executed() const { return executed_; }
 
+    /// Maximum pending-queue depth ever reached.
+    std::size_t queue_high_water() const { return queue_high_water_; }
+
   private:
     EventQueue queue_;
     Time now_ = 0.0;
     std::size_t executed_ = 0;
+    std::size_t queue_high_water_ = 0;
 };
 
 }  // namespace tibfit::sim

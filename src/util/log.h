@@ -3,6 +3,7 @@
 // simulator is single-threaded and deterministic.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -20,23 +21,32 @@ void log_line(LogLevel level, const std::string& message);
 
 namespace detail {
 
-/// Stream-style one-shot logger: emits on destruction.
+/// Stream-style one-shot logger: emits on destruction. The threshold check
+/// happens once, at construction — below-threshold streams never build the
+/// string (no ostringstream, no formatting), so disabled levels are
+/// near-free on hot paths.
 class LogStream {
   public:
-    explicit LogStream(LogLevel level) : level_(level) {}
+    explicit LogStream(LogLevel level)
+        : level_(level), enabled_(level >= log_level() && level < LogLevel::Off) {
+        if (enabled_) os_.emplace();
+    }
     LogStream(const LogStream&) = delete;
     LogStream& operator=(const LogStream&) = delete;
-    ~LogStream() { log_line(level_, os_.str()); }
+    ~LogStream() {
+        if (enabled_) log_line(level_, os_->str());
+    }
 
     template <typename T>
     LogStream& operator<<(const T& v) {
-        if (level_ >= log_level()) os_ << v;
+        if (enabled_) *os_ << v;
         return *this;
     }
 
   private:
     LogLevel level_;
-    std::ostringstream os_;
+    bool enabled_;
+    std::optional<std::ostringstream> os_;
 };
 
 }  // namespace detail

@@ -27,6 +27,10 @@ class Table {
     std::size_t rows() const { return rows_.size(); }
     const std::string& title() const { return title_; }
 
+    /// Raw data access, used by the obs run-artifact exporter.
+    const std::vector<std::string>& header_cells() const { return header_; }
+    const std::vector<std::vector<std::string>>& all_rows() const { return rows_; }
+
     /// Pretty fixed-width rendering with a rule under the header.
     void print(std::ostream& os) const;
     /// RFC-4180-ish CSV (cells containing commas/quotes are quoted).

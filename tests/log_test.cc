@@ -1,0 +1,52 @@
+// The levelled logger's hot-path promise: a below-threshold LogStream must
+// not format anything — operator<< on its arguments is never invoked.
+#include <gtest/gtest.h>
+
+#include <ostream>
+
+#include "util/log.h"
+
+namespace tibfit {
+namespace {
+
+struct CountsStreaming {
+    mutable int streamed = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const CountsStreaming& c) {
+    ++c.streamed;
+    return os << "streamed";
+}
+
+class LogTest : public ::testing::Test {
+  protected:
+    void SetUp() override { saved_ = util::log_level(); }
+    void TearDown() override { util::set_log_level(saved_); }
+
+  private:
+    util::LogLevel saved_;
+};
+
+TEST_F(LogTest, BelowThresholdStreamFormatsNothing) {
+    util::set_log_level(util::LogLevel::Warn);
+    CountsStreaming probe;
+    util::log_debug() << "ignored " << probe;
+    EXPECT_EQ(probe.streamed, 0);
+}
+
+TEST_F(LogTest, AtThresholdStreamFormats) {
+    util::set_log_level(util::LogLevel::Debug);
+    CountsStreaming probe;
+    util::log_debug() << "kept " << probe;
+    EXPECT_EQ(probe.streamed, 1);
+}
+
+TEST_F(LogTest, OffDisablesEverything) {
+    util::set_log_level(util::LogLevel::Off);
+    CountsStreaming probe;
+    util::log_error() << probe;
+    EXPECT_EQ(probe.streamed, 0);
+}
+
+}  // namespace
+}  // namespace tibfit
