@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
     base.pct_faulty = 0.5;
     base.events = 200;
     base.seed = 20050628;
-    const std::size_t runs = 5;
+    const std::size_t runs = io.trial_runs(5);
 
     util::Table t("Ablations (level 0, 50% faulty, 200 events, accuracy averaged over 5 seeds)");
     t.header({"variant", "accuracy"});

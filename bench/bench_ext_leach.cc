@@ -15,6 +15,8 @@
 #include "exp/bench_io.h"
 #include "exp/location_experiment.h"
 #include "exp/sweep.h"
+#include "par/trial_runner.h"
+#include "util/rng.h"
 #include "util/table.h"
 
 namespace {
@@ -77,12 +79,14 @@ double run_self_organized(double pct_faulty, core::DecisionPolicy policy,
 }
 
 double mean_self_organized(double pct, core::DecisionPolicy policy, std::size_t runs) {
+    // Same trial-seed derivation and index-ordered reduction as exp::sweep,
+    // so the mean is bit-identical at any --jobs width.
+    std::vector<double> acc(runs, 0.0);
+    par::run_trials(runs, [&](std::size_t r) {
+        acc[r] = run_self_organized(pct, policy, util::derive_trial_seed(20050628, r));
+    });
     double sum = 0.0;
-    std::uint64_t seed = 20050628;
-    for (std::size_t r = 0; r < runs; ++r) {
-        seed = seed * 2654435761u + r + 1;
-        sum += run_self_organized(pct, policy, seed);
-    }
+    for (double a : acc) sum += a;
     return sum / static_cast<double>(runs);
 }
 
@@ -91,7 +95,7 @@ double mean_self_organized(double pct, core::DecisionPolicy policy, std::size_t 
 int main(int argc, char** argv) {
     tibfit::exp::BenchIo io("bench_ext_leach", argc, argv);
     const std::vector<double> pct = {0.10, 0.30, 0.50};
-    const std::size_t runs = 3;
+    const std::size_t runs = io.trial_runs(3);
 
     tibfit::exp::LocationConfig dedicated;
     dedicated.events = 200;

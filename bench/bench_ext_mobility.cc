@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
     base.seed = 20050628;
 
     const std::vector<double> pct = {0.10, 0.30, 0.50};
-    const std::size_t runs = 5;
+    const std::size_t runs = io.trial_runs(5);
 
     util::Table t("Extension: stationary vs mobile network (level 0, TIBFIT)");
     t.header({"% faulty", "stationary", "mobile 0.5-1.5 u/s", "mobile 2-4 u/s"});

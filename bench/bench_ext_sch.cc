@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
     base.seed = 20050628;
 
     const std::vector<double> pct = {0.40, 0.60, 0.80};
-    const std::size_t runs = 10;
+    const std::size_t runs = io.trial_runs(10);
 
     util::Table t("Extension: corrupt cluster head masked by shadow CHs + base station vote");
     t.header({"% faulty nodes", "honest CH", "corrupt CH, no shadows",

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
         sim_cfg.pct_faulty = static_cast<double>(m) / 10.0;
         t.row_values({100.0 * static_cast<double>(m) / 10.0,
                       analysis::predicted_detection_rate(p, 100), traj.back().ti_faulty,
-                      exp::mean_binary_accuracy(sim_cfg, 20)},
+                      exp::mean_binary_accuracy(sim_cfg, io.trial_runs(20))},
                      3);
     }
     io.emit(t);
@@ -78,14 +78,14 @@ int main(int argc, char** argv) {
             exp::LocationConfig c = lc;
             c.pct_faulty = pct;
             c.policy = core::DecisionPolicy::MajorityVote;
-            row.push_back(exp::mean_location_accuracy(c, 5));
+            row.push_back(exp::mean_location_accuracy(c, io.trial_runs(5)));
         }
         row.push_back(analysis::expected_field_detection(report_params, geometry, pct,
                                                          /*asymptotic=*/true));
         {
             exp::LocationConfig c = lc;
             c.pct_faulty = pct;
-            row.push_back(exp::mean_location_accuracy(c, 5));
+            row.push_back(exp::mean_location_accuracy(c, io.trial_runs(5)));
         }
         loc.row_values(row, 3);
     }

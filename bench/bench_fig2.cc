@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
 
     const std::vector<double> pct = {0.40, 0.50, 0.60, 0.70, 0.80, 0.90};
     const std::vector<double> ners = {0.00, 0.01, 0.05};
-    const std::size_t runs = 30;
+    const std::size_t runs = io.trial_runs(30);
 
     util::Table t("Figure 2: binary model accuracy vs % faulty (missed alarms only)");
     t.header({"% faulty", "NER 0% TIBFIT", "NER 1% TIBFIT", "NER 5% TIBFIT", "NER 1% Baseline"});

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
         {"Lvl2 2-6 TIBFIT", 2.0, 6.0, core::DecisionPolicy::TrustIndex},
         {"Lvl2 2-6 Baseline", 2.0, 6.0, core::DecisionPolicy::MajorityVote},
     };
-    const std::size_t runs = 5;
+    const std::size_t runs = io.trial_runs(5);
 
     util::Table t("Figure 6: location model accuracy vs % faulty (level 2, colluding)");
     t.header({"% faulty", series[0].name, series[1].name, series[2].name, series[3].name});

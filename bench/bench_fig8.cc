@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
         {"2-4.25 TIBFIT", 2.0, core::DecisionPolicy::TrustIndex},
         {"2-4.25 Baseline", 2.0, core::DecisionPolicy::MajorityVote},
     };
-    const std::size_t runs = 5;
+    const std::size_t runs = io.trial_runs(5);
 
     std::vector<std::vector<double>> curves;
     for (const auto& s : series) {

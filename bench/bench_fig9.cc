@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
         {"2-6 TIBFIT", 2.0, core::DecisionPolicy::TrustIndex},
         {"2-6 Baseline", 2.0, core::DecisionPolicy::MajorityVote},
     };
-    const std::size_t runs = 5;
+    const std::size_t runs = io.trial_runs(5);
 
     std::vector<std::vector<double>> curves;
     for (const auto& s : series) {

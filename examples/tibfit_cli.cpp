@@ -15,7 +15,13 @@
 // human-readable summary; `--trace <path>` writes the structured decision
 // trace as JSONL (see docs/OBSERVABILITY.md). The legacy `trace=<path>`
 // CSV dump of mode=location is unchanged.
+//
+// Parallelism: with runs>1 the replications fan out across threads —
+// `--jobs <n>` or env TIBFIT_JOBS picks the width (default: hardware
+// concurrency) and the printed mean is bit-identical at any value (see
+// docs/PARALLELISM.md).
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <string_view>
@@ -26,6 +32,7 @@
 #include "exp/sweep.h"
 #include "exp/trace.h"
 #include "obs/recorder.h"
+#include "par/jobs.h"
 #include "util/config.h"
 
 namespace {
@@ -44,7 +51,9 @@ void print_keys() {
         "          collusion_defense=true|false  multihop=true|false  radio_range\n"
         "          mobile=true|false  speed_min  speed_max\n"
         "decay:    decay_initial  decay_step  decay_final  epoch_events\n"
-        "flags:    --metrics <path> (metrics summary)  --trace <path> (JSONL trace)\n");
+        "flags:    --metrics <path> (metrics summary)  --trace <path> (JSONL trace)\n"
+        "          --jobs <n> (threads for runs>1 sweeps; env TIBFIT_JOBS;\n"
+        "          results are identical at any value)\n");
 }
 
 core::DecisionPolicy parse_policy(const std::string& s) {
@@ -192,8 +201,14 @@ int main(int argc, char** argv) {
             trace_path = argv[++i];
         } else if (a.rfind("--trace=", 0) == 0) {
             trace_path = a.substr(std::string_view("--trace=").size());
-        } else if (a == "--metrics" || a == "--trace") {
-            std::fprintf(stderr, "%s requires a path argument\n", argv[i]);
+        } else if (a == "--jobs" && i + 1 < argc) {
+            const long n = std::atol(argv[++i]);
+            if (n > 0) tibfit::par::set_jobs(static_cast<std::size_t>(n));
+        } else if (a.rfind("--jobs=", 0) == 0) {
+            const long n = std::atol(std::string(a.substr(std::string_view("--jobs=").size())).c_str());
+            if (n > 0) tibfit::par::set_jobs(static_cast<std::size_t>(n));
+        } else if (a == "--metrics" || a == "--trace" || a == "--jobs") {
+            std::fprintf(stderr, "%s requires an argument\n", argv[i]);
             return 2;
         } else {
             rest.push_back(argv[i]);

@@ -3,28 +3,64 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <string>
 
 #include "exp/binary_experiment.h"
 #include "obs/artifact.h"
 #include "obs/recorder.h"
+#include "par/jobs.h"
 
 namespace tibfit::exp {
 
+namespace {
+
+void apply_jobs(const std::string& value, const std::string& bench) {
+    try {
+        const long n = std::stol(value);
+        if (n > 0) {
+            par::set_jobs(static_cast<std::size_t>(n));
+            return;
+        }
+    } catch (...) {
+    }
+    std::cerr << bench << ": ignoring invalid --jobs value '" << value << "'\n";
+}
+
+}  // namespace
+
 BenchIo::BenchIo(std::string name, int argc, char** argv) : name_(std::move(name)) {
     argv_.reserve(static_cast<std::size_t>(argc));
-    for (int i = 0; i < argc; ++i) argv_.emplace_back(argv[i]);
+    if (argc > 0) argv_.emplace_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg(argv[i]);
+        // --jobs only picks the thread count; results are bit-identical at
+        // any value, so it is deliberately NOT echoed into argv_ (and thus
+        // the artifact) — `--jobs 1` and `--jobs 8` runs must diff clean.
+        if (arg == "--jobs" && i + 1 < argc) {
+            apply_jobs(argv[++i], name_);
+            continue;
+        }
+        if (arg.rfind("--jobs=", 0) == 0) {
+            apply_jobs(std::string(arg.substr(std::strlen("--jobs="))), name_);
+            continue;
+        }
+        argv_.emplace_back(argv[i]);
         if (arg == "--csv") {
             csv_ = true;
         } else if (arg == "--json" && i + 1 < argc) {
             json_path_ = argv[++i];
+            argv_.emplace_back(json_path_);
         } else if (arg.rfind("--json=", 0) == 0) {
             json_path_ = arg.substr(std::strlen("--json="));
         } else {
             params_.parse_assignment(std::string(arg));
         }
     }
+}
+
+std::size_t BenchIo::trial_runs(std::size_t dflt) const {
+    const long n = params_.get_int("runs", static_cast<long>(dflt));
+    return n > 0 ? static_cast<std::size_t>(n) : dflt;
 }
 
 void BenchIo::emit(const util::Table& t) {

@@ -24,9 +24,17 @@ namespace tibfit::exp {
 
 class BenchIo {
   public:
-    /// Parses `--json <path>` / `--json=<path>` out of argv and echoes any
-    /// key=value tokens into params().
+    /// Parses `--json <path>` / `--json=<path>` and `--jobs N` /
+    /// `--jobs=N` out of argv (the latter sets the process-wide
+    /// par::set_jobs; it is excluded from the artifact's argv echo because
+    /// outputs are thread-count-invariant) and echoes any key=value tokens
+    /// into params().
     BenchIo(std::string name, int argc, char** argv);
+
+    /// The replication count for this bench's sweeps: the `runs=<n>`
+    /// command-line override when given (echoed into the artifact like any
+    /// parameter), else `dflt` — the bench's paper-faithful default.
+    std::size_t trial_runs(std::size_t dflt) const;
 
     /// Prints `t` to stdout (CSV with --csv, pretty otherwise) and keeps a
     /// copy for the artifact.

@@ -1,5 +1,13 @@
 // Shared sweep drivers for the benches: run an experiment across a
 // parameter range, averaging over seeds, and collect paper-style series.
+//
+// Replications fan out across threads through par::run_trials — the
+// process-wide par::jobs() setting (bench/CLI flag --jobs, env
+// TIBFIT_JOBS) picks the width. Trial r always draws the seed
+// util::derive_trial_seed(config.seed, r) and results reduce in trial
+// order, so every mean and series is bit-identical at any thread count;
+// an attached recorder receives the per-trial registries/traces merged in
+// trial order (docs/PARALLELISM.md).
 #pragma once
 
 #include <cstdint>
@@ -17,8 +25,10 @@ double mean_binary_accuracy(BinaryConfig config, std::size_t runs);
 /// Mean accuracy of `runs` location runs differing only in seed.
 double mean_location_accuracy(LocationConfig config, std::size_t runs);
 
-/// Mean per-epoch accuracy series over `runs` seeds (series are truncated
-/// to the shortest run, which only differs if an experiment aborts).
+/// Mean per-epoch accuracy series over `runs` seeds. Series are truncated
+/// to the shortest run, which only differs if an experiment aborts — when
+/// that happens a warning is logged and, with a recorder attached, the
+/// exp.sweep.truncated_runs counter records how many runs fell short.
 std::vector<double> mean_epoch_accuracy(LocationConfig config, std::size_t runs);
 
 /// Sweep helper: applies `set` for each value in `xs` and records the mean

@@ -31,6 +31,19 @@ const HistogramMetric* Registry::find_histogram(const std::string& name) const {
     return it == histograms_.end() ? nullptr : &it->second;
 }
 
+void Registry::merge(const Registry& other) {
+    for (const auto& [name, c] : other.counters_) counter(name).inc(c.value());
+    for (const auto& [name, g] : other.gauges_) gauge(name).merge(g);
+    for (const auto& [name, h] : other.histograms_) {
+        auto it = histograms_.find(name);
+        if (it == histograms_.end()) {
+            histograms_.emplace(name, h);
+        } else {
+            it->second.merge(h);
+        }
+    }
+}
+
 void Registry::emit(MetricSink& sink) const {
     for (const auto& [name, c] : counters_) sink.on_counter(name, c.value());
     for (const auto& [name, g] : gauges_) sink.on_gauge(name, g.value());
@@ -62,6 +75,8 @@ void Registry::write_json(json::Writer& w) const {
         w.field("p50", h.bins().total() ? h.bins().quantile(0.5) : 0.0);
         w.field("p90", h.bins().total() ? h.bins().quantile(0.9) : 0.0);
         w.field("p99", h.bins().total() ? h.bins().quantile(0.99) : 0.0);
+        w.field("underflow", static_cast<std::uint64_t>(h.bins().underflow()));
+        w.field("overflow", static_cast<std::uint64_t>(h.bins().overflow()));
         w.field("bin_lo", h.bins().bin_lo(0));
         w.field("bin_hi", h.bins().bin_lo(h.bins().bins()));
         w.key("bins").begin_array();
@@ -91,6 +106,9 @@ void SummarySink::on_histogram(const std::string& name, const HistogramMetric& h
              << " max=" << json::number_to_string(h.stats().max())
              << " p50=" << json::number_to_string(h.bins().quantile(0.5))
              << " p99=" << json::number_to_string(h.bins().quantile(0.99));
+        if (h.bins().underflow() || h.bins().overflow()) {
+            *os_ << " under=" << h.bins().underflow() << " over=" << h.bins().overflow();
+        }
     }
     *os_ << '\n';
 }
@@ -128,6 +146,7 @@ void preregister_standard_metrics(Registry& r) {
     r.counter(metric::kTrustPenalties);
     r.counter(metric::kTrustRewards);
     ti_sample_histogram(r);
+    r.counter(metric::kSweepTruncatedRuns);
     r.gauge(metric::kExpAccuracy);
     r.gauge(metric::kExpEvents);
     r.gauge(metric::kExpDetected);

@@ -32,15 +32,35 @@ class Counter {
 /// Last-write-wins scalar, with a high-water convenience.
 class Gauge {
   public:
-    void set(double v) { value_ = v; }
+    void set(double v) {
+        value_ = v;
+        touched_ = true;
+    }
     /// Keeps the maximum of all offered values (queue depth high-water).
+    /// Also switches the gauge's merge semantics to max-combining.
     void set_max(double v) {
-        if (v > value_) value_ = v;
+        if (v > value_ || !touched_) value_ = v;
+        touched_ = true;
+        max_mode_ = true;
     }
     double value() const { return value_; }
 
+    /// Folds another gauge in, reproducing what sequential writes into one
+    /// shared gauge would have produced: untouched sources are skipped,
+    /// set_max-style sources max-combine, plain sources overwrite.
+    void merge(const Gauge& other) {
+        if (!other.touched_) return;
+        if (other.max_mode_) {
+            set_max(other.value_);
+        } else {
+            set(other.value_);
+        }
+    }
+
   private:
     double value_ = 0.0;
+    bool touched_ = false;   // any write at all (merge skips untouched)
+    bool max_mode_ = false;  // latched by set_max
 };
 
 /// Fixed-bin histogram plus Welford running stats over the same samples,
@@ -52,6 +72,13 @@ class HistogramMetric {
     void observe(double x) {
         hist_.add(x);
         stats_.add(x);
+    }
+
+    /// Folds another metric in; layouts must match (util::Histogram::merge
+    /// throws otherwise).
+    void merge(const HistogramMetric& other) {
+        hist_.merge(other.hist_);
+        stats_.merge(other.stats_);
     }
 
     std::size_t count() const { return stats_.count(); }
@@ -88,6 +115,14 @@ class Registry {
     const Counter* find_counter(const std::string& name) const;
     const Gauge* find_gauge(const std::string& name) const;
     const HistogramMetric* find_histogram(const std::string& name) const;
+
+    /// Folds another registry in: counters add, gauges merge per their
+    /// write mode (see Gauge::merge), histograms combine bin-wise (layouts
+    /// must match). Metrics absent here are created. Merging the per-trial
+    /// registries of a parallel sweep in trial-index order yields the same
+    /// registry as the old serial loop sharing one registry — and the same
+    /// bytes regardless of thread count (docs/PARALLELISM.md).
+    void merge(const Registry& other);
 
     /// Total distinct named metrics.
     std::size_t size() const { return counters_.size() + gauges_.size() + histograms_.size(); }

@@ -42,6 +42,9 @@ inline constexpr const char* kTrustPenalties = "trust.penalties";
 inline constexpr const char* kTrustRewards = "trust.rewards";
 inline constexpr const char* kTrustTiSamples = "trust.ti_samples";
 
+// exp::sweep trial aggregation
+inline constexpr const char* kSweepTruncatedRuns = "exp.sweep.truncated_runs";
+
 // Experiment-level outcomes
 inline constexpr const char* kExpAccuracy = "exp.accuracy";
 inline constexpr const char* kExpEvents = "exp.events";

@@ -102,6 +102,14 @@ class TraceLog {
         records_.push_back(TraceRecord{time, next_seq_++, std::move(data)});
     }
 
+    /// Re-appends every record of `other` (in its order) as fresh records
+    /// of this log — sequence numbers are re-stamped so a log assembled
+    /// from per-trial logs in trial order is indistinguishable from one
+    /// log that watched the trials run serially. No-op while disabled.
+    void append_all(const TraceLog& other) {
+        for (const auto& r : other.records_) append(r.time, r.data);
+    }
+
     const std::vector<TraceRecord>& records() const { return records_; }
     std::size_t size() const { return records_.size(); }
     void clear() { records_.clear(); }

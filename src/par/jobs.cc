@@ -1,0 +1,43 @@
+#include "par/jobs.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace tibfit::par {
+
+namespace {
+
+// 0 = "not set, fall back to default_jobs()". Atomic so that a worker
+// thread reading the setting mid-run (it never does today, but tsan has no
+// way to know that) stays race-free.
+std::atomic<std::size_t> g_jobs{0};
+
+}  // namespace
+
+std::size_t hardware_jobs() {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc ? hc : 1;
+}
+
+std::size_t default_jobs() {
+    if (const char* env = std::getenv("TIBFIT_JOBS")) {
+        try {
+            const long v = std::stol(env);
+            if (v > 0) return static_cast<std::size_t>(v);
+        } catch (...) {
+            // Unparseable TIBFIT_JOBS falls through to the hardware count.
+        }
+    }
+    return hardware_jobs();
+}
+
+std::size_t jobs() {
+    const std::size_t n = g_jobs.load(std::memory_order_relaxed);
+    return n ? n : default_jobs();
+}
+
+void set_jobs(std::size_t n) { g_jobs.store(n, std::memory_order_relaxed); }
+
+}  // namespace tibfit::par

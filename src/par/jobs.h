@@ -1,0 +1,26 @@
+// Process-wide parallelism setting for the trial scheduler.
+//
+// Resolution order: an explicit set_jobs() call (benches and the CLI wire
+// `--jobs N` here) beats the TIBFIT_JOBS environment variable, which beats
+// std::thread::hardware_concurrency(). A value of 1 keeps every sweep
+// strictly serial; any value yields bit-identical results (see
+// docs/PARALLELISM.md for the determinism contract).
+#pragma once
+
+#include <cstddef>
+
+namespace tibfit::par {
+
+/// std::thread::hardware_concurrency(), floored at 1.
+std::size_t hardware_jobs();
+
+/// TIBFIT_JOBS when set to a positive integer, else hardware_jobs().
+std::size_t default_jobs();
+
+/// The current process-wide job count (never 0).
+std::size_t jobs();
+
+/// Overrides the job count; 0 resets to default_jobs().
+void set_jobs(std::size_t n);
+
+}  // namespace tibfit::par

@@ -1,0 +1,55 @@
+#include "par/thread_pool.h"
+
+namespace tibfit::par {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    const std::size_t n = threads ? threads : 1;
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    task_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        tasks_.push_back(std::move(task));
+    }
+    task_cv_.notify_one();
+}
+
+void ThreadPool::wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return tasks_.empty() && running_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            if (tasks_.empty()) return;  // stop_ set and queue drained
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+            ++running_;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --running_;
+        }
+        idle_cv_.notify_all();
+    }
+}
+
+}  // namespace tibfit::par

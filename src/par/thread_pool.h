@@ -1,0 +1,54 @@
+// A small fixed-size thread pool: one shared FIFO task queue, no work
+// stealing, no task priorities. Workers block on a condition variable and
+// drain the queue in submission order; wait() parks the caller until every
+// submitted task has finished (not merely been dequeued).
+//
+// The pool itself makes no determinism promises — which worker runs which
+// task is scheduler-dependent. Determinism is the trial runner's job
+// (par/trial_runner.h): tasks write results into index-addressed slots and
+// the reduction happens on the calling thread in index order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tibfit::par {
+
+class ThreadPool {
+  public:
+    /// Spawns `threads` workers (floored at 1).
+    explicit ThreadPool(std::size_t threads);
+
+    /// Drains the queue, then joins every worker.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t thread_count() const { return workers_.size(); }
+
+    /// Enqueues a task. Tasks must not throw — wrap bodies that can (the
+    /// trial runner captures exceptions per trial index).
+    void submit(std::function<void()> task);
+
+    /// Blocks until the queue is empty and no worker is mid-task.
+    void wait();
+
+  private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> tasks_;
+    std::mutex mu_;
+    std::condition_variable task_cv_;  // signalled on submit / stop
+    std::condition_variable idle_cv_;  // signalled when a task finishes
+    std::size_t running_ = 0;          // workers currently inside a task
+    bool stop_ = false;
+};
+
+}  // namespace tibfit::par

@@ -1,0 +1,54 @@
+#include "par/trial_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <vector>
+
+#include "par/jobs.h"
+#include "par/thread_pool.h"
+
+namespace tibfit::par {
+
+void run_trials(std::size_t n, const std::function<void(std::size_t)>& trial,
+                std::size_t jobs) {
+    if (n == 0) return;
+    if (jobs == 0) jobs = par::jobs();
+    std::vector<std::exception_ptr> errors(n);
+
+    const std::size_t workers = std::min(jobs, n);
+    if (workers <= 1) {
+        // Serial path: same capture-then-rethrow semantics as the pool, so
+        // -j1 matches -jN even when trials throw.
+        for (std::size_t i = 0; i < n; ++i) {
+            try {
+                trial(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    } else {
+        std::atomic<std::size_t> next{0};
+        ThreadPool pool(workers);
+        for (std::size_t w = 0; w < workers; ++w) {
+            pool.submit([&] {
+                for (;;) {
+                    const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= n) return;
+                    try {
+                        trial(i);
+                    } catch (...) {
+                        errors[i] = std::current_exception();
+                    }
+                }
+            });
+        }
+        pool.wait();
+    }
+
+    for (const auto& e : errors) {
+        if (e) std::rethrow_exception(e);
+    }
+}
+
+}  // namespace tibfit::par

@@ -1,11 +1,16 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 namespace tibfit::sim {
 
 EventId EventQueue::push(Time at, std::function<void()> action) {
+    // An empty action used to be accepted and then blow up as a
+    // std::bad_function_call at pop()-time, far from the buggy push site —
+    // and cancel() on it returned false while the event stayed live.
+    if (!action) throw std::invalid_argument("EventQueue::push: empty action");
     const EventId id = actions_.size();
     actions_.push_back(std::move(action));
     dead_.push_back(false);
@@ -16,7 +21,14 @@ EventId EventQueue::push(Time at, std::function<void()> action) {
 }
 
 bool EventQueue::cancel(EventId id) {
-    if (id >= dead_.size() || dead_[id] || !actions_[id]) return false;
+    // dead_[id] flips exactly once per id — here or in pop() — so an id
+    // that is unknown, already executed (cancel-after-pop, including an
+    // action cancelling itself while running) or already cancelled
+    // (double-cancel) is rejected before live_ is touched; live_ cannot
+    // underflow and size()/empty() stay consistent.
+    if (id >= dead_.size() || dead_[id]) return false;
+    assert(actions_[id] && "live id must hold an action");
+    assert(live_ > 0 && "live id implies live_ > 0");
     dead_[id] = true;
     actions_[id] = nullptr;
     --live_;
@@ -45,7 +57,8 @@ std::pair<Time, std::function<void()>> EventQueue::pop() {
     heap_.pop_back();
     auto action = std::move(actions_[e.id]);
     actions_[e.id] = nullptr;
-    dead_[e.id] = true;
+    dead_[e.id] = true;  // cancel(e.id) from inside the action is a no-op
+    assert(live_ > 0 && "popped a live entry, so live_ > 0");
     --live_;
     return {e.at, std::move(action)};
 }

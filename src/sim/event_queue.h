@@ -20,10 +20,13 @@ using EventId = std::uint64_t;
 class EventQueue {
   public:
     /// Schedules `action` at absolute time `at`; returns a cancellation id.
+    /// Throws std::invalid_argument on an empty action.
     EventId push(Time at, std::function<void()> action);
 
     /// Marks an event cancelled. Cancelled events are skipped on pop.
-    /// Returns false if the id was already executed, cancelled, or unknown.
+    /// Returns false if the id was already executed, cancelled, or unknown
+    /// — double-cancel and cancel-after-pop (even from inside the running
+    /// action itself) are safe no-ops that leave size()/empty() intact.
     bool cancel(EventId id);
 
     /// True if no runnable (non-cancelled) events remain.

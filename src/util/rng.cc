@@ -30,6 +30,16 @@ std::uint64_t hash_label(std::string_view label) {
 
 }  // namespace
 
+std::uint64_t derive_trial_seed(std::uint64_t base_seed, std::uint64_t trial_index) {
+    // O(trial_index) multiply-adds; sweeps run at most a few thousand
+    // trials, so recomputing the prefix per trial is noise next to one
+    // simulated event. Rng's SplitMix64 seed expansion decorrelates the
+    // (intentionally simple) affine seed sequence.
+    std::uint64_t s = base_seed;
+    for (std::uint64_t r = 0; r <= trial_index; ++r) s = s * 2654435761ULL + r + 1;
+    return s;
+}
+
 Rng::Rng(std::uint64_t seed) {
     // SplitMix64 expansion guarantees a non-zero state for any seed.
     std::uint64_t sm = seed;

@@ -14,6 +14,15 @@
 
 namespace tibfit::util {
 
+/// The seed of replication `trial_index` in a multi-run sweep, as a pure
+/// function of (base_seed, trial_index) — trials can therefore run in any
+/// order (or concurrently) and still draw exactly the seed the historical
+/// serial sweep loop produced: the affine recurrence
+///   s_0 = base_seed,   s_{r+1} = s_r * 2654435761 + r + 1
+/// evaluated through step trial_index+1. Keeping the published recurrence
+/// keeps every bench curve bit-identical to the pre-parallel harness.
+std::uint64_t derive_trial_seed(std::uint64_t base_seed, std::uint64_t trial_index);
+
 /// xoshiro256** 1.0 (Blackman & Vigna) — fast, high-quality, 2^256-1 period.
 /// Satisfies std::uniform_random_bit_generator.
 class Rng {

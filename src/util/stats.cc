@@ -19,6 +19,23 @@ void Running::add(double x) {
     m2_ += d * (x - mean_);
 }
 
+void Running::merge(const Running& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    n_ += other.n_;
+    const double n = static_cast<double>(n_);
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+}
+
 double Running::variance() const {
     if (n_ < 2) return 0.0;
     return m2_ / static_cast<double>(n_ - 1);
@@ -48,11 +65,31 @@ Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) 
 }
 
 void Histogram::add(double x) {
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
     const double span = hi_ - lo_;
     auto idx = static_cast<long>(std::floor((x - lo_) / span * static_cast<double>(counts_.size())));
+    // In-range x can still round onto bins (x == a bin edge within one ulp
+    // of hi); clamp only that numerical edge, not out-of-range samples.
     idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
     ++counts_[static_cast<std::size_t>(idx)];
-    ++total_;
+}
+
+void Histogram::merge(const Histogram& other) {
+    if (other.lo_ != lo_ || other.hi_ != hi_ || other.counts_.size() != counts_.size()) {
+        throw std::invalid_argument("Histogram::merge: layout mismatch");
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
 }
 
 double Histogram::bin_lo(std::size_t i) const {
@@ -63,12 +100,13 @@ double Histogram::quantile(double q) const {
     if (total_ == 0) return lo_;
     q = std::clamp(q, 0.0, 1.0);
     const auto target = static_cast<std::size_t>(std::ceil(q * static_cast<double>(total_)));
-    std::size_t cum = 0;
+    std::size_t cum = underflow_;  // underflow mass sits at lo
+    if (cum >= target) return lo_;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
         cum += counts_[i];
         if (cum >= target) return bin_lo(i + 1);
     }
-    return hi_;
+    return hi_;  // remaining mass is overflow, above hi
 }
 
 }  // namespace tibfit::util

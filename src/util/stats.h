@@ -12,6 +12,10 @@ namespace tibfit::util {
 class Running {
   public:
     void add(double x);
+    /// Folds another accumulator in (parallel Welford / Chan et al.
+    /// combine). Merging B into A gives the same moments as adding all of
+    /// B's samples to A up to floating-point reassociation.
+    void merge(const Running& other);
     std::size_t count() const { return n_; }
     double mean() const { return n_ ? mean_ : 0.0; }
     /// Unbiased sample variance; 0 with fewer than two samples.
@@ -50,19 +54,31 @@ class Accuracy {
     std::size_t hits_ = 0;
 };
 
-/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
-/// edge bins.
+/// Fixed-width histogram over [lo, hi). Out-of-range samples are counted
+/// separately as underflow (x < lo) / overflow (x >= hi) instead of being
+/// clamped into the edge bins — clamping silently inflated the edge bins
+/// and made "how much mass fell outside the layout" unanswerable.
 class Histogram {
   public:
     Histogram(double lo, double hi, std::size_t bins);
     void add(double x);
+    /// Folds another histogram in; throws std::invalid_argument unless the
+    /// layouts (lo, hi, bins) match exactly.
+    void merge(const Histogram& other);
     std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
     std::size_t bins() const { return counts_.size(); }
+    /// Every sample offered to add(), out-of-range ones included.
     std::size_t total() const { return total_; }
+    /// Samples below lo / at or above hi.
+    std::size_t underflow() const { return underflow_; }
+    std::size_t overflow() const { return overflow_; }
+    /// Samples that landed in a bin (total − underflow − overflow).
+    std::size_t in_range() const { return total_ - underflow_ - overflow_; }
     /// Lower edge of bin i.
     double bin_lo(std::size_t i) const;
     /// Smallest x such that at least q of the mass is at or below x
-    /// (bin-resolution approximation).
+    /// (bin-resolution approximation). Underflow mass sits at lo, overflow
+    /// mass above hi, so quantiles over all of total() stay monotone.
     double quantile(double q) const;
 
   private:
@@ -70,6 +86,8 @@ class Histogram {
     double hi_;
     std::vector<std::size_t> counts_;
     std::size_t total_ = 0;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
 };
 
 }  // namespace tibfit::util

@@ -234,5 +234,66 @@ TEST(Artifact, BuildRevisionIsNonEmpty) {
     EXPECT_FALSE(obs::build_revision().empty());
 }
 
+TEST(RegistryMerge, CountersAddAndMissingMetricsAreCreated) {
+    obs::Registry a, b;
+    a.counter("x").inc(2);
+    b.counter("x").inc(3);
+    b.counter("only_b").inc(7);
+    a.merge(b);
+    EXPECT_EQ(a.find_counter("x")->value(), 5u);
+    ASSERT_NE(a.find_counter("only_b"), nullptr);
+    EXPECT_EQ(a.find_counter("only_b")->value(), 7u);
+}
+
+TEST(RegistryMerge, GaugeSemanticsFollowWriteMode) {
+    obs::Registry a, b, c;
+    // Plain gauges: last write wins, like sequential runs sharing a gauge.
+    a.gauge("acc").set(0.5);
+    b.gauge("acc").set(0.8);
+    // High-water gauges: max-combine.
+    a.gauge("hw").set_max(10.0);
+    b.gauge("hw").set_max(4.0);
+    // Untouched gauges must not clobber real values.
+    c.gauge("acc");
+    a.merge(b);
+    a.merge(c);
+    EXPECT_EQ(a.find_gauge("acc")->value(), 0.8);
+    EXPECT_EQ(a.find_gauge("hw")->value(), 10.0);
+}
+
+TEST(RegistryMerge, HistogramsCombineBinWise) {
+    obs::Registry a, b;
+    a.histogram("h", 0.0, 10.0, 5).observe(1.0);
+    b.histogram("h", 0.0, 10.0, 5).observe(1.5);
+    b.histogram("h", 0.0, 10.0, 5).observe(42.0);  // overflow
+    a.merge(b);
+    const auto* h = a.find_histogram("h");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), 3u);
+    EXPECT_EQ(h->bins().bin_count(0), 2u);
+    EXPECT_EQ(h->bins().overflow(), 1u);
+    EXPECT_NEAR(h->stats().mean(), (1.0 + 1.5 + 42.0) / 3.0, 1e-12);
+    EXPECT_EQ(h->stats().max(), 42.0);
+}
+
+TEST(RegistryMerge, HistogramJsonCarriesUnderOverflow) {
+    obs::Registry r;
+    auto& h = r.histogram("lat", 0.0, 1.0, 4);
+    h.observe(-0.5);
+    h.observe(0.25);
+    h.observe(3.0);
+    std::ostringstream os;
+    obs::json::Writer w(os, 0);
+    r.write_json(w);
+    const auto doc = obs::json::parse(os.str());
+    const auto* hists = doc.find("histograms");
+    ASSERT_NE(hists, nullptr);
+    const auto* hist = hists->find("lat");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->number_or("underflow", -1.0), 1.0);
+    EXPECT_EQ(hist->number_or("overflow", -1.0), 1.0);
+    EXPECT_EQ(hist->number_or("count", -1.0), 3.0);
+}
+
 }  // namespace
 }  // namespace tibfit

@@ -1,0 +1,178 @@
+// The machine-checkable contract of the parallel trial scheduler: every
+// sweep aggregate — means, epoch series, merged metrics registries, merged
+// traces — is bit-identical whatever --jobs is set to.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/sweep.h"
+#include "obs/json.h"
+#include "obs/recorder.h"
+#include "par/jobs.h"
+#include "util/rng.h"
+
+namespace tibfit::exp {
+namespace {
+
+class JobsGuard {
+  public:
+    JobsGuard() = default;
+    ~JobsGuard() { par::set_jobs(0); }
+};
+
+BinaryConfig small_binary() {
+    BinaryConfig c;
+    c.n_nodes = 10;
+    c.pct_faulty = 0.4;
+    c.events = 30;
+    c.seed = 99;
+    return c;
+}
+
+LocationConfig small_location() {
+    LocationConfig c;
+    c.events = 40;
+    c.pct_faulty = 0.3;
+    c.seed = 20050628;
+    return c;
+}
+
+std::string metrics_json(const obs::Recorder& rec) {
+    std::ostringstream os;
+    obs::json::Writer w(os, 2);
+    rec.metrics().write_json(w);
+    return os.str();
+}
+
+std::string trace_jsonl(const obs::Recorder& rec) {
+    std::ostringstream os;
+    rec.trace().write_jsonl(os);
+    return os.str();
+}
+
+TEST(ParallelDeterminism, MeanBinaryAccuracyBitIdenticalAcrossJobs) {
+    JobsGuard guard;
+    par::set_jobs(1);
+    const double serial = mean_binary_accuracy(small_binary(), 12);
+    for (std::size_t jobs : {2u, 8u}) {
+        par::set_jobs(jobs);
+        EXPECT_EQ(mean_binary_accuracy(small_binary(), 12), serial) << "jobs=" << jobs;
+    }
+}
+
+TEST(ParallelDeterminism, MeanLocationAccuracyBitIdenticalAcrossJobs) {
+    JobsGuard guard;
+    par::set_jobs(1);
+    const double serial = mean_location_accuracy(small_location(), 6);
+    for (std::size_t jobs : {2u, 8u}) {
+        par::set_jobs(jobs);
+        EXPECT_EQ(mean_location_accuracy(small_location(), 6), serial) << "jobs=" << jobs;
+    }
+}
+
+TEST(ParallelDeterminism, EpochSeriesBitIdenticalAcrossJobs) {
+    JobsGuard guard;
+    LocationConfig c = small_location();
+    c.events = 100;
+    c.epoch_events = 25;
+    par::set_jobs(1);
+    const auto serial = mean_epoch_accuracy(c, 5);
+    EXPECT_FALSE(serial.empty());
+    for (std::size_t jobs : {2u, 8u}) {
+        par::set_jobs(jobs);
+        EXPECT_EQ(mean_epoch_accuracy(c, 5), serial) << "jobs=" << jobs;
+    }
+}
+
+TEST(ParallelDeterminism, SweepBinaryBitIdenticalAcrossJobs) {
+    JobsGuard guard;
+    const std::vector<double> xs = {0.2, 0.4, 0.6};
+    const auto set = [](BinaryConfig& c, double x) { c.pct_faulty = x; };
+    par::set_jobs(1);
+    const auto serial = sweep_binary(small_binary(), xs, set, 8);
+    for (std::size_t jobs : {2u, 8u}) {
+        par::set_jobs(jobs);
+        EXPECT_EQ(sweep_binary(small_binary(), xs, set, 8), serial) << "jobs=" << jobs;
+    }
+}
+
+TEST(ParallelDeterminism, SweepLocationBitIdenticalAcrossJobs) {
+    JobsGuard guard;
+    const std::vector<double> xs = {0.1, 0.5};
+    const auto set = [](LocationConfig& c, double x) { c.pct_faulty = x; };
+    par::set_jobs(1);
+    const auto serial = sweep_location(small_location(), xs, set, 4);
+    par::set_jobs(8);
+    EXPECT_EQ(sweep_location(small_location(), xs, set, 4), serial);
+}
+
+TEST(ParallelDeterminism, MergedMetricsJsonBitIdenticalAcrossJobs) {
+    JobsGuard guard;
+    auto run = [](std::size_t jobs) {
+        par::set_jobs(jobs);
+        obs::Recorder rec;
+        BinaryConfig c = small_binary();
+        c.recorder = &rec;
+        mean_binary_accuracy(c, 10);
+        return metrics_json(rec);
+    };
+    const std::string serial = run(1);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(run(2), serial);
+    EXPECT_EQ(run(8), serial);
+}
+
+TEST(ParallelDeterminism, MergedTraceBitIdenticalAcrossJobs) {
+    JobsGuard guard;
+    auto run = [](std::size_t jobs) {
+        par::set_jobs(jobs);
+        obs::Recorder rec;
+        rec.trace().set_enabled(true);
+        LocationConfig c = small_location();
+        c.recorder = &rec;
+        mean_location_accuracy(c, 4);
+        return trace_jsonl(rec);
+    };
+    const std::string serial = run(1);
+    EXPECT_GT(serial.size(), 100u) << "trace should have recorded something";
+    EXPECT_EQ(run(2), serial);
+    EXPECT_EQ(run(8), serial);
+}
+
+TEST(ParallelDeterminism, MergedRegistryMatchesSharedSerialRegistry) {
+    // The per-trial-registry + ordered-merge path must reproduce what the
+    // old serial loop produced by threading ONE shared registry through
+    // every run: counters sum, histograms combine, last-write gauges keep
+    // the last trial's value.
+    JobsGuard guard;
+    par::set_jobs(1);
+
+    obs::Recorder merged;
+    {
+        BinaryConfig c = small_binary();
+        c.recorder = &merged;
+        mean_binary_accuracy(c, 5);
+    }
+
+    obs::Recorder shared;
+    {
+        for (std::size_t r = 0; r < 5; ++r) {
+            BinaryConfig c = small_binary();
+            c.seed = util::derive_trial_seed(small_binary().seed, r);
+            c.recorder = &shared;
+            run_binary_experiment(c);
+        }
+    }
+
+    obs::MemorySink a, b;
+    merged.metrics().emit(a);
+    shared.metrics().emit(b);
+    EXPECT_EQ(a.counters, b.counters);
+    EXPECT_EQ(a.gauges, b.gauges);
+    EXPECT_EQ(a.histogram_counts, b.histogram_counts);
+}
+
+}  // namespace
+}  // namespace tibfit::exp

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "par/jobs.h"
+#include "par/thread_pool.h"
+#include "par/trial_runner.h"
+#include "util/rng.h"
+
+namespace tibfit::par {
+namespace {
+
+TEST(Jobs, NeverZero) {
+    EXPECT_GE(hardware_jobs(), 1u);
+    EXPECT_GE(default_jobs(), 1u);
+    EXPECT_GE(jobs(), 1u);
+}
+
+TEST(Jobs, SetAndReset) {
+    set_jobs(3);
+    EXPECT_EQ(jobs(), 3u);
+    set_jobs(0);  // back to default
+    EXPECT_EQ(jobs(), default_jobs());
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+    ThreadPool pool(4);
+    std::atomic<int> sum{0};
+    for (int i = 1; i <= 100; ++i) {
+        pool.submit([&sum, i] { sum.fetch_add(i); });
+    }
+    pool.wait();
+    EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.thread_count(), 1u);
+    bool ran = false;
+    pool.submit([&] { ran = true; });
+    pool.wait();
+    EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, WaitOnIdlePoolReturns) {
+    ThreadPool pool(2);
+    pool.wait();  // nothing submitted
+    pool.wait();  // and again
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+    ThreadPool pool(2);
+    std::atomic<int> n{0};
+    pool.submit([&] { ++n; });
+    pool.wait();
+    pool.submit([&] { ++n; });
+    pool.submit([&] { ++n; });
+    pool.wait();
+    EXPECT_EQ(n.load(), 3);
+}
+
+TEST(RunTrials, ZeroTrialsIsANoOp) {
+    run_trials(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(RunTrials, EveryIndexRunsExactlyOnce) {
+    for (std::size_t jobs : {1u, 2u, 8u, 32u}) {
+        std::vector<std::atomic<int>> hits(17);
+        run_trials(17, [&](std::size_t i) { hits[i].fetch_add(1); }, jobs);
+        for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(RunTrials, IndexOrderedResultsMatchSerial) {
+    // Each trial writes into its own slot; the assembled vector must be
+    // identical however many threads ran it.
+    auto collect = [](std::size_t jobs) {
+        std::vector<std::uint64_t> out(64);
+        run_trials(64, [&](std::size_t i) { out[i] = util::derive_trial_seed(7, i); }, jobs);
+        return out;
+    };
+    const auto serial = collect(1);
+    EXPECT_EQ(collect(2), serial);
+    EXPECT_EQ(collect(8), serial);
+    EXPECT_EQ(collect(64), serial);
+}
+
+TEST(RunTrials, MoreJobsThanTrials) {
+    std::vector<int> out(3, 0);
+    run_trials(3, [&](std::size_t i) { out[i] = static_cast<int>(i) + 1; }, 16);
+    EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(RunTrials, RethrowsLowestIndexException) {
+    for (std::size_t jobs : {1u, 4u}) {
+        std::vector<std::atomic<int>> ran(8);
+        try {
+            run_trials(
+                8,
+                [&](std::size_t i) {
+                    ran[i].fetch_add(1);
+                    if (i == 5) throw std::runtime_error("five");
+                    if (i == 2) throw std::runtime_error("two");
+                },
+                jobs);
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error& e) {
+            EXPECT_STREQ(e.what(), "two") << "jobs=" << jobs;
+        }
+        // Every trial still ran: a failure must not starve later trials.
+        for (const auto& r : ran) EXPECT_EQ(r.load(), 1);
+    }
+}
+
+TEST(DeriveTrialSeed, ReproducesHistoricalSerialRecurrence) {
+    // The pre-parallel sweep loop mutated the seed in place:
+    //   seed = seed * 2654435761 + r + 1
+    // derive_trial_seed must reproduce that sequence exactly so every
+    // published bench curve survives the parallel rewrite bit-for-bit.
+    std::uint64_t seed = 20050628;
+    for (std::uint64_t r = 0; r < 40; ++r) {
+        seed = seed * 2654435761u + r + 1;
+        EXPECT_EQ(util::derive_trial_seed(20050628, r), seed) << "r=" << r;
+    }
+}
+
+TEST(DeriveTrialSeed, IsAPureFunctionOfBaseAndIndex) {
+    // Evaluating out of order or repeatedly changes nothing.
+    const auto s7 = util::derive_trial_seed(1, 7);
+    const auto s3 = util::derive_trial_seed(1, 3);
+    EXPECT_EQ(util::derive_trial_seed(1, 7), s7);
+    EXPECT_EQ(util::derive_trial_seed(1, 3), s3);
+    EXPECT_NE(s3, s7);
+}
+
+}  // namespace
+}  // namespace tibfit::par

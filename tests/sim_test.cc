@@ -49,6 +49,78 @@ TEST(EventQueue, CancelSkipsEvent) {
     EXPECT_EQ(fired, 2);
 }
 
+TEST(EventQueue, RejectsEmptyAction) {
+    EventQueue q;
+    EXPECT_THROW(q.push(1.0, std::function<void()>{}), std::invalid_argument);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, CancelAfterPopIsRejected) {
+    EventQueue q;
+    const EventId id = q.push(1.0, [] {});
+    q.push(2.0, [] {});
+    q.pop();  // executes id
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));  // and again
+    // live_ must not have underflowed: exactly one runnable event remains.
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_FALSE(q.empty());
+    q.pop();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, DoubleCancelKeepsSizeConsistent) {
+    EventQueue q;
+    const EventId a = q.push(1.0, [] {});
+    q.push(2.0, [] {});
+    EXPECT_TRUE(q.cancel(a));
+    for (int i = 0; i < 3; ++i) EXPECT_FALSE(q.cancel(a));
+    EXPECT_EQ(q.size(), 1u);
+    q.pop();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, CancelUnknownIdIsRejected) {
+    EventQueue q;
+    EXPECT_FALSE(q.cancel(0));
+    EXPECT_FALSE(q.cancel(12345));
+    q.push(1.0, [] {});
+    EXPECT_FALSE(q.cancel(999));
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, ActionCancellingItselfWhilePoppedIsANoOp) {
+    // Same-instant hazard: the action of the event being executed cancels
+    // its own id (e.g. a handler tearing down its own timer).
+    EventQueue q;
+    EventId self = 0;
+    int fired = 0;
+    self = q.push(1.0, [&] {
+        EXPECT_FALSE(q.cancel(self));
+        ++fired;
+    });
+    q.push(1.0, [&] { ++fired; });  // same instant, must still run
+    while (!q.empty()) q.pop().second();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, CancelOtherEventAtSameInstant) {
+    EventQueue q;
+    int fired = 0;
+    EventId second = 0;
+    q.push(1.0, [&] {
+        ++fired;
+        EXPECT_TRUE(q.cancel(second));
+        EXPECT_FALSE(q.cancel(second));  // double-cancel inside the action
+    });
+    second = q.push(1.0, [&] { fired += 100; });
+    while (!q.empty()) q.pop().second();
+    EXPECT_EQ(fired, 1);
+}
+
 TEST(EventQueue, CancelledHeadDoesNotBlockNextTime) {
     EventQueue q;
     const EventId id = q.push(1.0, [] {});

@@ -77,15 +77,19 @@ TEST(Histogram, RejectsBadArguments) {
     EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
 }
 
-TEST(Histogram, BinsAndClamping) {
+TEST(Histogram, OutOfRangeCountsSeparately) {
     Histogram h(0.0, 10.0, 5);
     h.add(0.5);    // bin 0
     h.add(9.9);    // bin 4
-    h.add(-3.0);   // clamps to bin 0
-    h.add(100.0);  // clamps to bin 4
-    EXPECT_EQ(h.bin_count(0), 2u);
-    EXPECT_EQ(h.bin_count(4), 2u);
-    EXPECT_EQ(h.total(), 4u);
+    h.add(-3.0);   // underflow — must NOT inflate bin 0
+    h.add(100.0);  // overflow — must NOT inflate bin 4
+    h.add(10.0);   // hi is exclusive -> overflow
+    EXPECT_EQ(h.bin_count(0), 1u);
+    EXPECT_EQ(h.bin_count(4), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.in_range(), 2u);
+    EXPECT_EQ(h.total(), 5u);
 }
 
 TEST(Histogram, Quantile) {
@@ -93,6 +97,61 @@ TEST(Histogram, Quantile) {
     for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i % 10) + 0.5);
     EXPECT_NEAR(h.quantile(0.5), 5.0, 1.01);
     EXPECT_NEAR(h.quantile(1.0), 10.0, 1e-12);
+}
+
+TEST(Histogram, QuantileWithOutOfRangeMass) {
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 50; ++i) h.add(-1.0);  // half the mass below lo
+    for (int i = 0; i < 40; ++i) h.add(5.5);
+    for (int i = 0; i < 10; ++i) h.add(42.0);  // a tail above hi
+    EXPECT_EQ(h.quantile(0.25), 0.0);          // inside the underflow mass
+    EXPECT_NEAR(h.quantile(0.8), 6.0, 1e-12);  // the 5.5 bin's upper edge
+    EXPECT_EQ(h.quantile(0.99), 10.0);         // inside the overflow mass
+}
+
+TEST(Histogram, MergeCombinesCountsAndRanges) {
+    Histogram a(0.0, 10.0, 5);
+    Histogram b(0.0, 10.0, 5);
+    a.add(1.0);
+    a.add(-5.0);
+    b.add(1.5);
+    b.add(99.0);
+    a.merge(b);
+    EXPECT_EQ(a.bin_count(0), 2u);
+    EXPECT_EQ(a.underflow(), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_EQ(a.total(), 4u);
+    Histogram mismatched(0.0, 10.0, 4);
+    EXPECT_THROW(a.merge(mismatched), std::invalid_argument);
+}
+
+TEST(Running, MergeMatchesSequential) {
+    Running all, left, right;
+    const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    for (int i = 0; i < 8; ++i) {
+        all.add(xs[i]);
+        (i < 3 ? left : right).add(xs[i]);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+    EXPECT_EQ(left.min(), all.min());
+    EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(Running, MergeWithEmptySides) {
+    Running a, b;
+    a.merge(b);  // empty into empty
+    EXPECT_EQ(a.count(), 0u);
+    b.add(3.0);
+    a.merge(b);  // into empty
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(a.mean(), 3.0);
+    Running c;
+    a.merge(c);  // empty into non-empty
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(a.mean(), 3.0);
 }
 
 }  // namespace
