@@ -1,0 +1,447 @@
+// Microbenchmarks of the three simulator hot paths this tree optimised,
+// each measured against an in-file re-implementation of the pre-arena /
+// pre-memoisation / pre-grid design so the speedup is visible in one run:
+//
+//   event_queue_churn   — push/pop through sim::EventQueue (slab arena +
+//                         small-buffer callbacks) vs. the historical
+//                         std::function queue whose actions_/dead_ vectors
+//                         grew monotonically.
+//   event_queue_cancel  — same, with half of each batch cancelled by id.
+//   cti_sum             — core::TrustManager::cumulative_ti (dense cells,
+//                         memoised exp) vs. unordered_map + exp per query.
+//   neighbour_query_*   — util::SpatialGrid::query_within vs. the O(N)
+//                         brute-force scan, at two field sizes.
+//
+// Every pair runs the same deterministic workload and must produce a
+// bit-identical checksum — the optimisations are output-preserving by
+// contract, and this bench doubles as a spot check of that contract.
+//
+// Run in a Release build (see docs/PERFORMANCE.md):
+//
+//   ./build/bench/bench_hotpath --json BENCH_HOTPATH.json
+//
+// The artifact always carries the optional `timing` block (wall time, peak
+// RSS) — the numbers are machine-dependent, so committed baselines are
+// compared non-gating in CI.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/trust.h"
+#include "exp/bench_io.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+#include "util/spatial_grid.h"
+#include "util/table.h"
+#include "util/vec2.h"
+
+namespace {
+
+using namespace tibfit;
+
+// Defeats dead-code elimination of the workload checksums.
+volatile double g_sink = 0.0;
+
+// ---------------------------------------------------------------------------
+// Legacy reference implementations (the pre-optimisation designs, verbatim
+// in shape; see docs/PERFORMANCE.md for the history).
+// ---------------------------------------------------------------------------
+
+/// The historical event queue: one heap-allocating std::function plus a
+/// dead_ flag per event *ever pushed* — storage grows with total events,
+/// not concurrent events.
+class LegacyEventQueue {
+  public:
+    using Action = std::function<void()>;
+
+    std::uint64_t push(double at, Action action) {
+        const std::uint64_t id = actions_.size();
+        actions_.push_back(std::move(action));
+        dead_.push_back(0);
+        heap_.push_back(Entry{at, next_seq_++, id});
+        std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+        ++live_;
+        return id;
+    }
+
+    bool cancel(std::uint64_t id) {
+        if (id >= dead_.size() || dead_[id]) return false;
+        dead_[id] = 1;
+        --live_;
+        return true;
+    }
+
+    bool empty() const { return live_ == 0; }
+
+    std::pair<double, Action> pop() {
+        for (;;) {
+            std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+            const Entry e = heap_.back();
+            heap_.pop_back();
+            if (dead_[e.id]) continue;
+            dead_[e.id] = 1;
+            --live_;
+            return {e.at, std::move(actions_[e.id])};
+        }
+    }
+
+  private:
+    struct Entry {
+        double at;
+        std::uint64_t seq;
+        std::uint64_t id;
+        bool operator>(const Entry& o) const {
+            if (at != o.at) return at > o.at;
+            return seq > o.seq;
+        }
+    };
+
+    std::vector<Entry> heap_;
+    std::vector<Action> actions_;
+    std::vector<char> dead_;
+    std::uint64_t next_seq_ = 0;
+    std::size_t live_ = 0;
+};
+
+/// The historical trust table: node -> accumulator in an unordered_map,
+/// with exp(-lambda*v) recomputed on every ti query.
+class LegacyTrustTable {
+  public:
+    explicit LegacyTrustTable(core::TrustParams p) : params_(p) {}
+
+    void judge_correct(core::NodeId n) { table_[n].record_correct(params_); }
+    void judge_faulty(core::NodeId n) { table_[n].record_faulty(params_); }
+
+    double cumulative_ti(const std::vector<core::NodeId>& nodes) const {
+        double s = 0.0;
+        for (core::NodeId n : nodes) {
+            const auto it = table_.find(n);
+            s += it == table_.end() ? 1.0 : it->second.ti(params_);
+        }
+        return s;
+    }
+
+  private:
+    core::TrustParams params_;
+    std::unordered_map<core::NodeId, core::TrustIndex> table_;
+};
+
+// ---------------------------------------------------------------------------
+// Workloads. Each is templated over the implementation and returns a
+// checksum that must agree bit-for-bit between legacy and optimised runs.
+// ---------------------------------------------------------------------------
+
+/// Capture of the same shape as the simulator's transmit closures (node +
+/// sink pointers, a payload of scalars): 48 bytes — past std::function's
+/// small-buffer budget, within EventCallback's.
+struct PayloadLike {
+    const void* node;
+    const void* sink;
+    double time;
+    double value;
+    std::uint64_t event_id;
+    std::uint32_t reporter;
+};
+
+/// Pre-drawn event times; power-of-two size so the cycling index is a mask,
+/// not a division, keeping shared loop overhead out of the comparison.
+constexpr std::size_t kTimesSize = 8192;
+
+template <typename Queue>
+double queue_churn(std::size_t rounds, std::size_t batch, const std::vector<double>& times) {
+    Queue q;
+    double acc = 0.0;
+    std::size_t t = 0;
+    for (std::size_t r = 0; r < rounds; ++r) {
+        for (std::size_t b = 0; b < batch; ++b) {
+            const PayloadLike p{&q,
+                                &acc,
+                                times[t++ & (kTimesSize - 1)],
+                                static_cast<double>(b),
+                                r,
+                                static_cast<std::uint32_t>(b)};
+            q.push(p.time, [p, &acc] { acc += p.time + p.value; });
+        }
+        while (!q.empty()) {
+            auto [at, action] = q.pop();
+            action();
+            acc += at;
+        }
+    }
+    return acc;
+}
+
+/// Timer-reset churn — the simulator's cancel pattern: a pending timeout is
+/// cancelled and rescheduled at a new deadline (one fresh action per reset,
+/// which is one fresh heap allocation in the legacy design and a recycled
+/// arena slot in the optimised one).
+template <typename Queue>
+double queue_cancel(std::size_t rounds, std::size_t batch, const std::vector<double>& times) {
+    Queue q;
+    double acc = 0.0;
+    std::vector<std::uint64_t> ids;
+    std::size_t t = 0;
+    for (std::size_t r = 0; r < rounds; ++r) {
+        ids.clear();
+        for (std::size_t b = 0; b < batch; ++b) {
+            const PayloadLike p{&q,
+                                &acc,
+                                times[t++ & (kTimesSize - 1)],
+                                static_cast<double>(b),
+                                r,
+                                static_cast<std::uint32_t>(b)};
+            ids.push_back(q.push(p.time, [p, &acc] { acc += p.time + p.value; }));
+        }
+        for (std::size_t i = 0; i < ids.size(); i += 2) {
+            q.cancel(ids[i]);
+            const PayloadLike p{&q,
+                                &acc,
+                                times[t++ & (kTimesSize - 1)] + 1000.0,
+                                static_cast<double>(i),
+                                r,
+                                static_cast<std::uint32_t>(i)};
+            q.push(p.time, [p, &acc] { acc += p.time + p.value; });
+        }
+        while (!q.empty()) {
+            auto [at, action] = q.pop();
+            action();
+            acc += at;
+        }
+    }
+    return acc;
+}
+
+template <typename Trust>
+double cti_sum(Trust& trust, const std::vector<core::NodeId>& nodes, std::size_t iters) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < iters; ++i) acc += trust.cumulative_ti(nodes);
+    return acc;
+}
+
+/// Applies the identical judgement stream to either table implementation.
+template <typename Trust>
+void seed_trust(Trust& trust, const std::vector<core::NodeId>& nodes, util::Rng rng) {
+    for (core::NodeId n : nodes) {
+        const std::size_t judgements = 20 + rng.uniform_index(60);
+        for (std::size_t j = 0; j < judgements; ++j) {
+            if (rng.chance(0.3)) {
+                trust.judge_faulty(n);
+            } else {
+                trust.judge_correct(n);
+            }
+        }
+    }
+}
+
+constexpr std::size_t kQueryCount = 1024;  // power of two: cycling by mask
+
+double neighbour_brute(const std::vector<util::Vec2>& pts,
+                       const std::vector<util::Vec2>& queries, double r, std::size_t iters) {
+    double acc = 0.0;
+    std::vector<std::size_t> out;
+    for (std::size_t it = 0; it < iters; ++it) {
+        const util::Vec2& q = queries[it & (kQueryCount - 1)];
+        out.clear();
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            if (util::distance(pts[i], q) <= r) out.push_back(i);
+        }
+        for (std::size_t i : out) acc += static_cast<double>(i + 1);
+    }
+    return acc;
+}
+
+double neighbour_grid(const util::SpatialGrid& grid, const std::vector<util::Vec2>& queries,
+                      double r, std::size_t iters) {
+    double acc = 0.0;
+    std::vector<std::size_t> out;
+    for (std::size_t it = 0; it < iters; ++it) {
+        grid.query_within(queries[it & (kQueryCount - 1)], r, out);
+        for (std::size_t i : out) acc += static_cast<double>(i + 1);
+    }
+    return acc;
+}
+
+// ---------------------------------------------------------------------------
+// Harness.
+// ---------------------------------------------------------------------------
+
+struct Measurement {
+    double ns_per_op = 0.0;
+    double checksum = 0.0;
+};
+
+template <typename Body>
+double time_once(Body&& body, double& checksum) {
+    const auto t0 = std::chrono::steady_clock::now();
+    checksum = body();
+    const auto t1 = std::chrono::steady_clock::now();
+    g_sink = g_sink + checksum;
+    return std::chrono::duration<double, std::nano>(t1 - t0).count();
+}
+
+/// Interleaved best-of-7: each repetition times the legacy body then the
+/// optimised body back-to-back, so slow drift in machine load (frequency
+/// scaling, co-tenants) hits both sides of the ratio alike; the minimum
+/// over repetitions is the least-noise estimate of each, and the workloads
+/// are deterministic so every repetition must reproduce the same checksum.
+template <typename LegacyBody, typename OptBody>
+std::pair<Measurement, Measurement> time_pair(std::size_t ops, LegacyBody&& legacy_body,
+                                              OptBody&& opt_body) {
+    constexpr int kReps = 7;
+    Measurement legacy, opt;
+    double legacy_best = 0.0, opt_best = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+        const double lns = time_once(legacy_body, legacy.checksum);
+        const double ons = time_once(opt_body, opt.checksum);
+        if (rep == 0 || lns < legacy_best) legacy_best = lns;
+        if (rep == 0 || ons < opt_best) opt_best = ons;
+    }
+    legacy.ns_per_op = legacy_best / static_cast<double>(ops);
+    opt.ns_per_op = opt_best / static_cast<double>(ops);
+    return {legacy, opt};
+}
+
+class Report {
+  public:
+    explicit Report(util::Table& t) : t_(t) {}
+
+    /// Emits the legacy/optimised row pair; returns false on a checksum
+    /// mismatch (the optimisation failed its output-preservation contract).
+    bool pair(const std::string& bench, std::size_t ops, const Measurement& legacy,
+              const Measurement& opt) {
+        row(bench, "legacy", ops, legacy.ns_per_op, 1.0);
+        row(bench, "optimized", ops, opt.ns_per_op, legacy.ns_per_op / opt.ns_per_op);
+        if (legacy.checksum != opt.checksum) {
+            std::cerr << "bench_hotpath: checksum mismatch on " << bench
+                      << " (legacy " << legacy.checksum << " vs optimized " << opt.checksum
+                      << ") — the optimised path is NOT output-preserving\n";
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    void row(const std::string& bench, const char* impl, std::size_t ops, double ns,
+             double speedup) {
+        t_.row({bench, impl, util::Table::num(static_cast<double>(ops), 0),
+                util::Table::num(ns, 1), util::Table::num(1e3 / ns, 2),
+                util::Table::num(speedup, 2)});
+    }
+
+    util::Table& t_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    exp::BenchIo io("bench_hotpath", argc, argv);
+    io.enable_timing();
+
+    // Workload sizes; scale=<f> shrinks/expands everything for smoke runs.
+    const double scale = [&io] {
+        const double s = io.params().get_double("scale", 1.0);
+        return s > 0.0 ? s : 1.0;
+    }();
+    const auto scaled = [scale](std::size_t n) {
+        const auto v = static_cast<std::size_t>(static_cast<double>(n) * scale);
+        return v > 0 ? v : std::size_t{1};
+    };
+
+    // Batch = events pending at once. 32 matches the simulator's real
+    // steady state (tens of outstanding report/timeout events per active
+    // event), where per-event allocation — the thing the arena removes —
+    // is the dominant cost rather than heap reheapification.
+    const std::size_t kQueueRounds = scaled(static_cast<std::size_t>(
+        std::max(1L, io.params().get_int("queue_rounds", 16000))));
+    const std::size_t kQueueBatch = static_cast<std::size_t>(
+        std::max(1L, io.params().get_int("queue_batch", 32)));
+    const std::size_t kCtiNodes = 100;
+    const std::size_t kCtiIters = scaled(100000);
+    const std::size_t kNeighbourIters = scaled(20000);
+    const double kRadius = 50.0;
+
+    util::Table t("Hot-path microbenchmarks: legacy vs optimized");
+    t.header({"bench", "impl", "ops", "ns_per_op", "Mops_per_sec", "speedup"});
+    Report report(t);
+    bool ok = true;
+
+    util::Rng rng(20050628);
+
+    // --- Event queue ------------------------------------------------------
+    {
+        util::Rng stream = rng.stream("queue_times");
+        std::vector<double> times(kTimesSize);
+        for (double& x : times) x = stream.uniform(0.0, 1000.0);
+        const std::size_t ops = kQueueRounds * kQueueBatch * 2;  // push + pop
+
+        auto [churn_legacy, churn_opt] = time_pair(
+            ops,
+            [&] { return queue_churn<LegacyEventQueue>(kQueueRounds, kQueueBatch, times); },
+            [&] { return queue_churn<sim::EventQueue>(kQueueRounds, kQueueBatch, times); });
+        ok = report.pair("event_queue_churn", ops, churn_legacy, churn_opt) && ok;
+
+        // push batch + cancel batch/2 + re-push batch/2 + pop batch
+        const std::size_t cancel_ops = kQueueRounds * kQueueBatch * 5 / 2;
+        auto [cancel_legacy, cancel_opt] = time_pair(
+            cancel_ops,
+            [&] { return queue_cancel<LegacyEventQueue>(kQueueRounds, kQueueBatch, times); },
+            [&] { return queue_cancel<sim::EventQueue>(kQueueRounds, kQueueBatch, times); });
+        ok = report.pair("event_queue_cancel", cancel_ops, cancel_legacy, cancel_opt) && ok;
+    }
+
+    // --- CTI sum ----------------------------------------------------------
+    {
+        core::TrustParams params;  // paper defaults: lambda 0.25, f_r 0.1
+        std::vector<core::NodeId> nodes(kCtiNodes);
+        for (std::size_t i = 0; i < nodes.size(); ++i) nodes[i] = static_cast<core::NodeId>(i);
+
+        LegacyTrustTable legacy_table(params);
+        core::TrustManager opt_table(params);
+        seed_trust(legacy_table, nodes, rng.stream("judgements"));
+        seed_trust(opt_table, nodes, rng.stream("judgements"));
+
+        const auto [legacy, opt] =
+            time_pair(kCtiIters, [&] { return cti_sum(legacy_table, nodes, kCtiIters); },
+                      [&] { return cti_sum(opt_table, nodes, kCtiIters); });
+        ok = report.pair("cti_sum_100", kCtiIters, legacy, opt) && ok;
+    }
+
+    // --- Neighbour queries ------------------------------------------------
+    for (const std::size_t n : {std::size_t{1024}, std::size_t{4096}}) {
+        // Density-scaled field: side grows with sqrt(N) so a radius-50 query
+        // keeps ~13 neighbours at either scale — the brute-force cost grows
+        // with N, the grid cost with the (constant) local density.
+        const double side = 25.0 * std::sqrt(static_cast<double>(n));
+        util::Rng stream = rng.stream("field", n);
+        std::vector<util::Vec2> pts(n);
+        for (auto& p : pts) p = stream.point_in_rect(side, side);
+        std::vector<util::Vec2> queries(kQueryCount);
+        for (auto& q : queries) q = stream.point_in_rect(side, side);
+        const util::SpatialGrid grid(pts, kRadius);
+        const std::size_t iters = n >= 4096 ? kNeighbourIters / 2 : kNeighbourIters;
+
+        const auto [legacy, opt] =
+            time_pair(iters, [&] { return neighbour_brute(pts, queries, kRadius, iters); },
+                      [&] { return neighbour_grid(grid, queries, kRadius, iters); });
+        ok = report.pair("neighbour_query_" + std::to_string(n), iters, legacy, opt) && ok;
+    }
+
+    io.emit(t);
+    io.params()
+        .set("queue_rounds", static_cast<long>(kQueueRounds))
+        .set("queue_batch", static_cast<long>(kQueueBatch))
+        .set("cti_nodes", static_cast<long>(kCtiNodes))
+        .set("cti_iters", static_cast<long>(kCtiIters))
+        .set("neighbour_iters", static_cast<long>(kNeighbourIters))
+        .set("radius", kRadius);
+
+    const int rc = io.finish();
+    return ok ? rc : 1;
+}

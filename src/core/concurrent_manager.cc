@@ -20,20 +20,14 @@ bool ConcurrentEventManager::add_report(double now, std::size_t report_index,
             return false;
         }
     }
+    const double deadline = now + t_out_;
     circles_.push_back(CircleState{
         util::Circle{loc, r_error_},
-        now + t_out_,
+        deadline,
         {report_index},
     });
+    if (!next_deadline_ || deadline < *next_deadline_) next_deadline_ = deadline;
     return true;
-}
-
-std::optional<double> ConcurrentEventManager::next_deadline() const {
-    std::optional<double> best;
-    for (const auto& c : circles_) {
-        if (!best || c.deadline < *best) best = c.deadline;
-    }
-    return best;
 }
 
 std::vector<ReportGroup> ConcurrentEventManager::collect_ready(double now) {
@@ -77,11 +71,17 @@ std::vector<ReportGroup> ConcurrentEventManager::collect_ready(double now) {
         if (!group_of_root[r].empty()) out.push_back(std::move(group_of_root[r]));
     }
 
-    // Compact away released circles.
+    // Compact away released circles and re-establish the cached minimum
+    // deadline over whatever stays open.
     std::vector<CircleState> rest;
     rest.reserve(n);
+    next_deadline_.reset();
     for (std::size_t i = 0; i < n; ++i) {
-        if (!released[i]) rest.push_back(std::move(circles_[i]));
+        if (released[i]) continue;
+        if (!next_deadline_ || circles_[i].deadline < *next_deadline_) {
+            next_deadline_ = circles_[i].deadline;
+        }
+        rest.push_back(std::move(circles_[i]));
     }
     circles_ = std::move(rest);
     return out;

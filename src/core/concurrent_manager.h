@@ -40,7 +40,11 @@ class ConcurrentEventManager {
     bool add_report(double now, std::size_t report_index, const util::Vec2& loc);
 
     /// Earliest pending circle deadline, if any circle is still open.
-    std::optional<double> next_deadline() const;
+    /// O(1): the owner polls this once per submitted report, so the value
+    /// is maintained incrementally (add_report takes the min; collect_ready
+    /// recomputes over the circles it leaves open) instead of rescanning
+    /// every open circle per call.
+    std::optional<double> next_deadline() const { return next_deadline_; }
 
     /// Releases every overlap component whose circles have all expired by
     /// `now`. Each returned group is the union of the component's report
@@ -63,6 +67,8 @@ class ConcurrentEventManager {
     double r_error_;
     double t_out_;
     std::vector<CircleState> circles_;
+    /// Invariant: min deadline over circles_, nullopt when none are open.
+    std::optional<double> next_deadline_;
 };
 
 }  // namespace tibfit::core

@@ -1,7 +1,7 @@
 #include "core/trust.h"
 
-#include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "obs/names.h"
 #include "obs/recorder.h"
@@ -10,26 +10,42 @@ namespace tibfit::core {
 
 double TrustIndex::ti(const TrustParams& p) const { return std::exp(-p.lambda * v_); }
 
+TrustManager::Cell& TrustManager::touch(NodeId node) {
+    if (node == kNoNode) {
+        throw std::invalid_argument("TrustManager: cannot record history for kNoNode");
+    }
+    if (node >= cells_.size()) cells_.resize(node + 1);
+    Cell& c = cells_[node];
+    if (!c.seen) {
+        c.seen = true;
+        ++tracked_;
+    }
+    return c;
+}
+
 double TrustManager::ti(NodeId node) const {
-    auto it = table_.find(node);
-    return it == table_.end() ? 1.0 : it->second.ti(params_);
+    return node < cells_.size() && cells_[node].seen ? cells_[node].ti : 1.0;
 }
 
 double TrustManager::v(NodeId node) const {
-    auto it = table_.find(node);
-    return it == table_.end() ? 0.0 : it->second.v();
+    return node < cells_.size() && cells_[node].seen ? cells_[node].v : 0.0;
 }
 
 void TrustManager::judge_correct(NodeId node) {
-    auto& idx = table_[node];
-    idx.record_correct(params_);
-    if (recorder_) note_update(node, /*penalty=*/false, idx);
+    Cell& c = touch(node);
+    // Same arithmetic as TrustIndex::record_correct.
+    c.v -= params_.fault_rate;
+    if (c.v < 0.0) c.v = 0.0;
+    c.ti = std::exp(-params_.lambda * c.v);
+    if (recorder_) note_update(node, /*penalty=*/false, c);
 }
 
 void TrustManager::judge_faulty(NodeId node) {
-    auto& idx = table_[node];
-    idx.record_faulty(params_);
-    if (recorder_) note_update(node, /*penalty=*/true, idx);
+    Cell& c = touch(node);
+    // Same arithmetic as TrustIndex::record_faulty.
+    c.v += 1.0 - params_.fault_rate;
+    c.ti = std::exp(-params_.lambda * c.v);
+    if (recorder_) note_update(node, /*penalty=*/true, c);
 }
 
 void TrustManager::set_recorder(obs::Recorder* recorder) {
@@ -43,18 +59,17 @@ void TrustManager::set_recorder(obs::Recorder* recorder) {
     h_ti_ = &obs::ti_sample_histogram(reg);
 }
 
-void TrustManager::note_update(NodeId node, bool penalty, const TrustIndex& idx) const {
+void TrustManager::note_update(NodeId node, bool penalty, const Cell& cell) const {
     if (penalty) {
         c_penalties_->inc();
     } else {
         c_rewards_->inc();
     }
-    const double ti = idx.ti(params_);
-    h_ti_->observe(ti);
+    h_ti_->observe(cell.ti);
     if (recorder_->trace().enabled()) {
         recorder_->trace().append(recorder_->now(),
                                   obs::TrustUpdated{static_cast<std::uint32_t>(node), penalty,
-                                                    idx.v(), ti});
+                                                    cell.v, cell.ti});
     }
 }
 
@@ -71,8 +86,11 @@ void TrustManager::quarantine(NodeId node) {
     if (params_.removal_ti > 0.0) {
         target_v = -std::log(params_.removal_ti * 0.5) / params_.lambda;
     }
-    auto& idx = table_[node];
-    if (idx.v() < target_v) idx = TrustIndex::from_v(target_v);
+    Cell& c = touch(node);
+    if (c.v < target_v) {
+        c.v = target_v < 0.0 ? 0.0 : target_v;
+        c.ti = std::exp(-params_.lambda * c.v);
+    }
 }
 
 bool TrustManager::is_isolated(NodeId node) const {
@@ -80,30 +98,48 @@ bool TrustManager::is_isolated(NodeId node) const {
     return ti(node) < params_.removal_ti;
 }
 
+void TrustManager::forget(NodeId node) {
+    if (node < cells_.size() && cells_[node].seen) {
+        cells_[node] = Cell{};
+        --tracked_;
+    }
+}
+
+void TrustManager::reinstate(NodeId node) {
+    Cell& c = touch(node);
+    c.v = 0.0;
+    c.ti = 1.0;
+}
+
 std::vector<std::pair<NodeId, double>> TrustManager::export_v() const {
     std::vector<std::pair<NodeId, double>> out;
-    out.reserve(table_.size());
-    for (const auto& [id, idx] : table_) out.emplace_back(id, idx.v());
-    std::sort(out.begin(), out.end());
+    out.reserve(tracked_);
+    // Dense ascending iteration: already in wire order (ascending node id).
+    for (NodeId n = 0; n < cells_.size(); ++n) {
+        if (cells_[n].seen) out.emplace_back(n, cells_[n].v);
+    }
     return out;
 }
 
 void TrustManager::import_v(const std::vector<std::pair<NodeId, double>>& values) {
-    table_.clear();
+    cells_.clear();
+    tracked_ = 0;
     merge_v(values);
 }
 
 void TrustManager::merge_v(const std::vector<std::pair<NodeId, double>>& values) {
-    for (const auto& [id, v] : values) table_[id] = TrustIndex::from_v(v);
+    for (const auto& [id, v] : values) {
+        Cell& c = touch(id);
+        c.v = v < 0.0 ? 0.0 : v;  // same clamping as TrustIndex::from_v
+        c.ti = std::exp(-params_.lambda * c.v);
+    }
 }
 
 std::vector<NodeId> TrustManager::isolated_nodes() const {
     std::vector<NodeId> out;
-    for (const auto& [id, idx] : table_) {
-        (void)idx;
-        if (is_isolated(id)) out.push_back(id);
+    for (NodeId n = 0; n < cells_.size(); ++n) {
+        if (cells_[n].seen && is_isolated(n)) out.push_back(n);
     }
-    std::sort(out.begin(), out.end());
     return out;
 }
 

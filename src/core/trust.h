@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstddef>
-#include <unordered_map>
 #include <vector>
 
 #include "core/report.h"
@@ -69,6 +68,14 @@ class TrustIndex {
 ///
 /// The table is a value type so it can be shipped to the base station at the
 /// end of a CH's leadership and handed to the next CH (Section 2).
+///
+/// Storage is a dense vector indexed by NodeId (node ids are small,
+/// contiguous cluster-member ids) with the trust index memoised per cell:
+/// `ti()` is a pure function of the accumulator v, which only changes on a
+/// judgement/adoption, yet the arbiters query it inside every CTI sum of
+/// every decision. Each mutation recomputes std::exp(-lambda*v) once and
+/// every query returns the cached value — bit-identical to recomputing,
+/// since both evaluate the same std::exp on the same (lambda, v).
 class TrustManager {
   public:
     explicit TrustManager(TrustParams params = {}) : params_(params) {}
@@ -98,14 +105,14 @@ class TrustManager {
     std::vector<NodeId> isolated_nodes() const;
 
     /// Number of nodes with any recorded history.
-    std::size_t tracked() const { return table_.size(); }
+    std::size_t tracked() const { return tracked_; }
 
     /// Forgets a node entirely (e.g. it physically left the cluster).
-    void forget(NodeId node) { table_.erase(node); }
+    void forget(NodeId node);
 
     /// Resets a node's trust to the initial state (limited recovery after
     /// re-admission).
-    void reinstate(NodeId node) { table_[node] = TrustIndex{}; }
+    void reinstate(NodeId node);
 
     /// Serializes the table as (node, v) pairs in ascending node order —
     /// the TI-transfer wire format (CH <-> base station, Section 2).
@@ -141,10 +148,25 @@ class TrustManager {
     void set_recorder(obs::Recorder* recorder);
 
   private:
-    void note_update(NodeId node, bool penalty, const TrustIndex& idx) const;
+    /// One dense table cell. `ti` caches exp(-lambda * v) and is refreshed
+    /// on every v mutation; `seen` distinguishes recorded history from the
+    /// implicit fresh state (ti = 1) of an untouched slot.
+    struct Cell {
+        double v = 0.0;
+        double ti = 1.0;
+        bool seen = false;
+    };
+
+    /// Grows the table to cover `node` and marks it seen. Throws
+    /// std::invalid_argument on the kNoNode sentinel (a dense table must
+    /// never be asked to materialise 2^32 cells).
+    Cell& touch(NodeId node);
+
+    void note_update(NodeId node, bool penalty, const Cell& cell) const;
 
     TrustParams params_;
-    std::unordered_map<NodeId, TrustIndex> table_;
+    std::vector<Cell> cells_;
+    std::size_t tracked_ = 0;
     obs::Recorder* recorder_ = nullptr;
     obs::Counter* c_penalties_ = nullptr;
     obs::Counter* c_rewards_ = nullptr;

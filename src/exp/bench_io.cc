@@ -47,6 +47,8 @@ BenchIo::BenchIo(std::string name, int argc, char** argv) : name_(std::move(name
         argv_.emplace_back(argv[i]);
         if (arg == "--csv") {
             csv_ = true;
+        } else if (arg == "--timing") {
+            timing_ = true;
         } else if (arg == "--json" && i + 1 < argc) {
             json_path_ = argv[++i];
             argv_.emplace_back(json_path_);
@@ -88,6 +90,11 @@ int BenchIo::finish(const std::function<void(obs::Recorder&)>& instrument) {
     obs::ArtifactMeta meta;
     meta.name = name_;
     meta.argv = argv_;
+    if (timing_) {
+        meta.has_timing = true;
+        meta.timing.wall_seconds = obs::process_wall_seconds();
+        meta.timing.peak_rss_bytes = obs::process_peak_rss_bytes();
+    }
     std::vector<const util::Table*> tables;
     tables.reserve(tables_.size());
     for (const auto& t : tables_) tables.push_back(&t);

@@ -43,6 +43,14 @@ class BenchIo {
     /// True when the run should produce a JSON artifact.
     bool json_requested() const { return !json_path_.empty(); }
 
+    /// Stamps wall time (steady clock, since process start) and peak RSS
+    /// into the artifact's optional `timing` block. Off by default because
+    /// timing differs run to run and the determinism CI byte-compares
+    /// artifacts across --jobs values; the user can opt in with --timing,
+    /// and perf benches (bench_hotpath) opt in unconditionally because
+    /// their numbers are timings already.
+    void enable_timing() { timing_ = true; }
+
     /// Parameters echoed into the artifact. Benches add the knobs of their
     /// representative run here.
     util::Config& params() { return params_; }
@@ -58,6 +66,7 @@ class BenchIo {
     std::string name_;
     std::vector<std::string> argv_;
     bool csv_ = false;
+    bool timing_ = false;
     std::string json_path_;
     util::Config params_;
     std::vector<util::Table> tables_;

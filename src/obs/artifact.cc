@@ -1,6 +1,11 @@
 #include "obs/artifact.h"
 
+#include <chrono>
 #include <ostream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -11,6 +16,29 @@
 namespace tibfit::obs {
 
 std::string build_revision() { return TIBFIT_BUILD_REVISION; }
+
+namespace {
+const std::chrono::steady_clock::time_point kProcessEpoch = std::chrono::steady_clock::now();
+}  // namespace
+
+double process_wall_seconds() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - kProcessEpoch)
+        .count();
+}
+
+double process_peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+    rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+#if defined(__APPLE__)
+    return static_cast<double>(ru.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<double>(ru.ru_maxrss) * 1024.0;  // KiB on Linux
+#endif
+#else
+    return 0.0;
+#endif
+}
 
 void write_run_artifact(std::ostream& os, const ArtifactMeta& meta, const Registry& metrics,
                         const util::Config* params,
@@ -24,6 +52,16 @@ void write_run_artifact(std::ostream& os, const ArtifactMeta& meta, const Regist
     w.key("argv").begin_array();
     for (const auto& a : meta.argv) w.value(a);
     w.end_array();
+    if (meta.has_timing) {
+        // Optional, additive block (schema stays 1): run wall time and peak
+        // RSS, so BENCH_HOTPATH.json-style baselines are machine-comparable
+        // across PRs. Producers that must stay byte-identical across runs
+        // (the --jobs determinism contract) simply never opt in.
+        w.key("timing").begin_object();
+        w.field("wall_seconds", meta.timing.wall_seconds);
+        w.field("peak_rss_bytes", meta.timing.peak_rss_bytes);
+        w.end_object();
+    }
     w.key("params").begin_object();
     if (params) {
         for (const auto& k : params->keys()) w.field(k, params->to_string(k));

@@ -19,12 +19,30 @@ class Registry;
 /// Bumped whenever the artifact document gains/loses/renames a field.
 inline constexpr int kArtifactSchemaVersion = 1;
 
+/// Process resource usage of the run, for machine comparison of bench
+/// artifacts across PRs. Only written when the producer opted in (timing
+/// varies run to run, so determinism-compared artifacts must omit it).
+struct ArtifactTiming {
+    double wall_seconds = 0.0;   ///< steady-clock wall time of the run
+    double peak_rss_bytes = 0.0; ///< peak resident set size (0 if unknown)
+};
+
 /// Identifying metadata for a run artifact.
 struct ArtifactMeta {
     std::string tool = "tibfit";
     std::string name;               ///< bench/CLI name, e.g. "bench_table1"
     std::vector<std::string> argv;  ///< the invocation, verbatim
+    bool has_timing = false;        ///< write the optional timing block
+    ArtifactTiming timing;
 };
+
+/// Steady-clock seconds since an epoch fixed at process start — the wall
+/// clock bench artifacts stamp into ArtifactTiming.
+double process_wall_seconds();
+
+/// Peak resident set size of this process in bytes (0 where the platform
+/// offers no getrusage-style accounting).
+double process_peak_rss_bytes();
 
 /// The build revision baked in at configure time (`git describe`), or
 /// "unknown" when the source tree was not a git checkout.

@@ -1,66 +1,5 @@
+// EventQueue is header-only (see event_queue.h: the queue is on the
+// innermost simulator loop and its methods must inline into callers
+// without LTO). This TU remains so the build keeps a stable object for
+// the target and any future cold paths have a home.
 #include "sim/event_queue.h"
-
-#include <algorithm>
-#include <cassert>
-#include <stdexcept>
-
-namespace tibfit::sim {
-
-EventId EventQueue::push(Time at, std::function<void()> action) {
-    // An empty action used to be accepted and then blow up as a
-    // std::bad_function_call at pop()-time, far from the buggy push site —
-    // and cancel() on it returned false while the event stayed live.
-    if (!action) throw std::invalid_argument("EventQueue::push: empty action");
-    const EventId id = actions_.size();
-    actions_.push_back(std::move(action));
-    dead_.push_back(false);
-    heap_.push_back(Entry{at, next_seq_++, id});
-    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
-    ++live_;
-    return id;
-}
-
-bool EventQueue::cancel(EventId id) {
-    // dead_[id] flips exactly once per id — here or in pop() — so an id
-    // that is unknown, already executed (cancel-after-pop, including an
-    // action cancelling itself while running) or already cancelled
-    // (double-cancel) is rejected before live_ is touched; live_ cannot
-    // underflow and size()/empty() stay consistent.
-    if (id >= dead_.size() || dead_[id]) return false;
-    assert(actions_[id] && "live id must hold an action");
-    assert(live_ > 0 && "live id implies live_ > 0");
-    dead_[id] = true;
-    actions_[id] = nullptr;
-    --live_;
-    return true;
-}
-
-void EventQueue::drop_cancelled_top() {
-    while (!heap_.empty() && dead_[heap_.front().id]) {
-        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-        heap_.pop_back();
-    }
-}
-
-Time EventQueue::next_time() const {
-    auto* self = const_cast<EventQueue*>(this);
-    self->drop_cancelled_top();
-    if (heap_.empty()) throw std::logic_error("EventQueue::next_time on empty queue");
-    return heap_.front().at;
-}
-
-std::pair<Time, std::function<void()>> EventQueue::pop() {
-    drop_cancelled_top();
-    if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
-    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-    const Entry e = heap_.back();
-    heap_.pop_back();
-    auto action = std::move(actions_[e.id]);
-    actions_[e.id] = nullptr;
-    dead_[e.id] = true;  // cancel(e.id) from inside the action is a no-op
-    assert(live_ > 0 && "popped a live entry, so live_ > 0");
-    --live_;
-    return {e.at, std::move(action)};
-}
-
-}  // namespace tibfit::sim

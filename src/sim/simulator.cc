@@ -4,12 +4,12 @@
 
 namespace tibfit::sim {
 
-Timer Simulator::schedule(Time delay, std::function<void()> action) {
+Timer Simulator::schedule(Time delay, EventCallback action) {
     if (delay < 0.0) throw std::invalid_argument("Simulator::schedule: negative delay");
     return schedule_at(now_ + delay, std::move(action));
 }
 
-Timer Simulator::schedule_at(Time at, std::function<void()> action) {
+Timer Simulator::schedule_at(Time at, EventCallback action) {
     if (at < now_) throw std::invalid_argument("Simulator::schedule_at: time in the past");
     if (!action) throw std::invalid_argument("Simulator::schedule_at: empty action");
     const EventId id = queue_.push(at, std::move(action));

@@ -2,8 +2,6 @@
 // Replaces ns-2 as the scheduling substrate (see DESIGN.md §2).
 #pragma once
 
-#include <functional>
-
 #include "sim/event_queue.h"
 
 namespace tibfit::sim {
@@ -36,11 +34,13 @@ class Simulator {
     /// Current virtual time.
     Time now() const { return now_; }
 
-    /// Schedules `action` after `delay` (>= 0) from now.
-    Timer schedule(Time delay, std::function<void()> action);
+    /// Schedules `action` after `delay` (>= 0) from now. Small closures
+    /// are stored inline in the event arena (see EventCallback) — the
+    /// common path performs no heap allocation.
+    Timer schedule(Time delay, EventCallback action);
 
     /// Schedules `action` at absolute time `at` (>= now()).
-    Timer schedule_at(Time at, std::function<void()> action);
+    Timer schedule_at(Time at, EventCallback action);
 
     /// Cancels a pending timer. Returns false if it already fired or was
     /// cancelled. The handle is disarmed either way.

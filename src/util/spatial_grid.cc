@@ -1,0 +1,123 @@
+#include "util/spatial_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tibfit::util {
+
+SpatialGrid::SpatialGrid(std::span<const Vec2> points, double cell_size) {
+    rebuild(points, cell_size);
+}
+
+void SpatialGrid::rebuild(std::span<const Vec2> points, double cell_size) {
+    if (!(cell_size > 0.0)) {
+        throw std::invalid_argument("SpatialGrid: cell_size must be > 0");
+    }
+    cell_ = cell_size;
+    points_.assign(points.begin(), points.end());
+    if (points_.empty()) {
+        cols_ = rows_ = 0;
+        cell_start_.assign(1, 0);
+        point_index_.clear();
+        return;
+    }
+
+    Vec2 lo = points_[0];
+    Vec2 hi = points_[0];
+    for (const Vec2& p : points_) {
+        lo.x = std::min(lo.x, p.x);
+        lo.y = std::min(lo.y, p.y);
+        hi.x = std::max(hi.x, p.x);
+        hi.y = std::max(hi.y, p.y);
+    }
+    origin_ = lo;
+    cols_ = static_cast<std::size_t>(std::floor((hi.x - lo.x) / cell_)) + 1;
+    rows_ = static_cast<std::size_t>(std::floor((hi.y - lo.y) / cell_)) + 1;
+
+    // Counting sort into CSR buckets; the two-pass fill keeps each cell's
+    // point indices in ascending order (the determinism contract).
+    const std::size_t n_cells = cols_ * rows_;
+    cell_start_.assign(n_cells + 1, 0);
+    for (const Vec2& p : points_) ++cell_start_[cell_of(p) + 1];
+    for (std::size_t c = 1; c <= n_cells; ++c) cell_start_[c] += cell_start_[c - 1];
+    point_index_.resize(points_.size());
+    std::vector<std::size_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+        point_index_[cursor[cell_of(points_[i])]++] = i;
+    }
+}
+
+std::size_t SpatialGrid::cell_of(const Vec2& p) const {
+    // Points are inside the bounding box by construction; clamp anyway so a
+    // boundary-rounding surprise maps to an edge cell instead of UB.
+    auto cx = static_cast<std::size_t>(std::max(0.0, std::floor((p.x - origin_.x) / cell_)));
+    auto cy = static_cast<std::size_t>(std::max(0.0, std::floor((p.y - origin_.y) / cell_)));
+    cx = std::min(cx, cols_ - 1);
+    cy = std::min(cy, rows_ - 1);
+    return cy * cols_ + cx;
+}
+
+bool SpatialGrid::cell_box(const Vec2& q, double radius, CellBox& box) const {
+    if (points_.empty() || radius < 0.0) return false;
+    // Signed cell coordinates of the query box, padded by one cell so that
+    // floating-point rounding of (q +- radius) can never exclude a point
+    // whose exact distance equals the radius.
+    const auto lo_x = static_cast<long long>(std::floor((q.x - radius - origin_.x) / cell_)) - 1;
+    const auto hi_x = static_cast<long long>(std::floor((q.x + radius - origin_.x) / cell_)) + 1;
+    const auto lo_y = static_cast<long long>(std::floor((q.y - radius - origin_.y) / cell_)) - 1;
+    const auto hi_y = static_cast<long long>(std::floor((q.y + radius - origin_.y) / cell_)) + 1;
+    if (hi_x < 0 || hi_y < 0 || lo_x >= static_cast<long long>(cols_) ||
+        lo_y >= static_cast<long long>(rows_)) {
+        return false;
+    }
+    box.cx0 = static_cast<std::size_t>(std::max(lo_x, 0LL));
+    box.cx1 = static_cast<std::size_t>(std::min(hi_x, static_cast<long long>(cols_) - 1));
+    box.cy0 = static_cast<std::size_t>(std::max(lo_y, 0LL));
+    box.cy1 = static_cast<std::size_t>(std::min(hi_y, static_cast<long long>(rows_) - 1));
+    return true;
+}
+
+void SpatialGrid::candidates_within(const Vec2& q, double radius,
+                                    std::vector<std::size_t>& out) const {
+    out.clear();
+    CellBox box;
+    if (!cell_box(q, radius, box)) return;
+    for (std::size_t cy = box.cy0; cy <= box.cy1; ++cy) {
+        for (std::size_t cx = box.cx0; cx <= box.cx1; ++cx) {
+            const std::size_t c = cy * cols_ + cx;
+            out.insert(out.end(), point_index_.begin() + cell_start_[c],
+                       point_index_.begin() + cell_start_[c + 1]);
+        }
+    }
+}
+
+void SpatialGrid::query_within(const Vec2& q, double radius,
+                               std::vector<std::size_t>& out) const {
+    out.clear();
+    CellBox box;
+    if (!cell_box(q, radius, box)) return;
+    // Exact inclusion test, identical to the brute-force scans this index
+    // replaces: distance(p, q) <= radius. Filter before sorting — the hit
+    // set is a constant-density handful, the candidate set is ~9 cells'
+    // worth of points.
+    for (std::size_t cy = box.cy0; cy <= box.cy1; ++cy) {
+        for (std::size_t cx = box.cx0; cx <= box.cx1; ++cx) {
+            const std::size_t c = cy * cols_ + cx;
+            for (std::size_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+                const std::size_t i = point_index_[k];
+                if (distance(points_[i], q) <= radius) out.push_back(i);
+            }
+        }
+    }
+    // Cells were walked row-major; restore global ascending index order.
+    std::sort(out.begin(), out.end());
+}
+
+std::vector<std::size_t> SpatialGrid::query_within(const Vec2& q, double radius) const {
+    std::vector<std::size_t> out;
+    query_within(q, radius, out);
+    return out;
+}
+
+}  // namespace tibfit::util

@@ -1,0 +1,77 @@
+// Uniform-grid spatial index over a fixed set of 2-D points (node
+// positions). Event-neighbour sets — "all nodes within r_s of the event" —
+// are the per-event hot query of the whole simulator; a grid with cell
+// size = sensing radius answers one from the ~9 cells around the query
+// point instead of an O(N) scan over every node in the field.
+//
+// Determinism contract: queries return indices in ascending order and the
+// final inclusion test is the caller-visible predicate itself
+// (distance(p, q) <= r, the exact expression the brute-force scans used),
+// so replacing a scan with a grid query is byte-identical, including for
+// points exactly on cell boundaries or at the radius edge. The cell walk
+// is only a conservative prefilter (padded by one cell against floating-
+// point rounding of the query box).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/vec2.h"
+
+namespace tibfit::util {
+
+class SpatialGrid {
+  public:
+    /// An empty index; queries return nothing until rebuild().
+    SpatialGrid() = default;
+
+    /// Builds over `points` with the given cell size (> 0).
+    SpatialGrid(std::span<const Vec2> points, double cell_size);
+
+    /// Rebuilds in place (O(N)); reuses the existing bucket storage.
+    void rebuild(std::span<const Vec2> points, double cell_size);
+
+    /// Appends to `out` the indices i with distance(points[i], q) <= radius,
+    /// in ascending index order. `out` is cleared first.
+    void query_within(const Vec2& q, double radius, std::vector<std::size_t>& out) const;
+
+    /// Convenience allocating overload.
+    std::vector<std::size_t> query_within(const Vec2& q, double radius) const;
+
+    /// Appends to `out` every index whose cell intersects the axis-aligned
+    /// box of half-width `radius` around `q` (plus one padding cell), in
+    /// UNSPECIFIED order, WITHOUT the exact distance test. For callers
+    /// whose inclusion predicate is per-point (e.g. heterogeneous sensing
+    /// radii): gather candidates at the largest radius, apply the exact
+    /// per-point test, then sort the (much smaller) accepted set — sorting
+    /// survivors is what keeps queries cheap; sorting every candidate here
+    /// would cost more than the brute-force scan it replaces at small N.
+    /// `out` is cleared first.
+    void candidates_within(const Vec2& q, double radius, std::vector<std::size_t>& out) const;
+
+    std::size_t size() const { return points_.size(); }
+    bool empty() const { return points_.empty(); }
+    double cell_size() const { return cell_; }
+
+  private:
+    /// Clamped cell-coordinate range of the padded query box; false when
+    /// the box misses the grid entirely (or the grid is empty).
+    struct CellBox {
+        std::size_t cx0, cx1, cy0, cy1;
+    };
+    bool cell_box(const Vec2& q, double radius, CellBox& box) const;
+
+    std::size_t cell_of(const Vec2& p) const;
+
+    std::vector<Vec2> points_;
+    double cell_ = 0.0;
+    Vec2 origin_;              ///< bounding-box minimum corner
+    std::size_t cols_ = 0;
+    std::size_t rows_ = 0;
+    std::vector<std::size_t> cell_start_;   ///< CSR offsets, size cols*rows+1
+    std::vector<std::size_t> point_index_;  ///< point indices bucketed by cell,
+                                            ///< ascending within each cell
+};
+
+}  // namespace tibfit::util

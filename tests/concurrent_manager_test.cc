@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 namespace tibfit::core {
 namespace {
 
@@ -119,6 +122,80 @@ TEST(ConcurrentManager, NextDeadlineIsEarliest) {
     ASSERT_TRUE(m.next_deadline().has_value());
     EXPECT_DOUBLE_EQ(*m.next_deadline(), 1.2);
     EXPECT_FALSE(ConcurrentEventManager(5.0, 1.0).next_deadline().has_value());
+}
+
+// The cached next_deadline() must always equal a brute-force minimum over
+// the open circles (it is maintained incrementally by add_report and
+// recomputed by collect_ready over whatever survives compaction).
+TEST(ConcurrentManager, CachedNextDeadlineMatchesBruteForceUnderChurn) {
+    ConcurrentEventManager m(5.0, 2.0);
+    std::vector<double> open_deadlines;  // shadow model of the open circles
+
+    auto check = [&] {
+        if (open_deadlines.empty()) {
+            EXPECT_FALSE(m.next_deadline().has_value());
+        } else {
+            ASSERT_TRUE(m.next_deadline().has_value());
+            EXPECT_EQ(*m.next_deadline(),
+                      *std::min_element(open_deadlines.begin(), open_deadlines.end()));
+        }
+        EXPECT_EQ(m.open_circles(), open_deadlines.size());
+    };
+
+    // Far-apart locations so every report opens its own circle with its own
+    // deadline; interleave collection points that release prefixes.
+    double now = 0.0;
+    std::size_t idx = 0;
+    for (int wave = 0; wave < 5; ++wave) {
+        for (int i = 0; i < 4; ++i) {
+            now += 0.3;
+            const double x = 100.0 * static_cast<double>(idx);
+            ASSERT_TRUE(m.add_report(now, idx, {x, 0.0}));
+            open_deadlines.push_back(now + 2.0);
+            ++idx;
+            check();
+        }
+        // Collect at a time that expires some-but-not-all circles.
+        now += 1.2;
+        m.collect_ready(now);
+        std::erase_if(open_deadlines, [&](double d) { return d <= now; });
+        check();
+    }
+    // Drain completely: the cache must go back to nullopt.
+    now += 10.0;
+    m.collect_ready(now);
+    open_deadlines.clear();
+    check();
+    EXPECT_TRUE(m.idle());
+}
+
+TEST(ConcurrentManager, NextDeadlineUnchangedWhenReportJoinsCircle) {
+    ConcurrentEventManager m(5.0, 1.0);
+    ASSERT_TRUE(m.add_report(0.0, 0, {10.0, 10.0}));
+    ASSERT_TRUE(m.next_deadline().has_value());
+    const double before = *m.next_deadline();
+    // Joining an existing circle starts no new timer.
+    ASSERT_FALSE(m.add_report(0.5, 1, {11.0, 10.0}));
+    ASSERT_TRUE(m.next_deadline().has_value());
+    EXPECT_EQ(*m.next_deadline(), before);
+}
+
+TEST(ConcurrentManager, NextDeadlineSurvivesPartialReleaseOfOverlapComponent) {
+    ConcurrentEventManager m(5.0, 1.0);
+    // Two overlapping circles (deadlines 1.0 and 1.5) + one far circle
+    // (deadline 2.0). At t=1.2 the overlap component is not fully expired,
+    // so nothing releases; the cached minimum must still be 1.0.
+    ASSERT_TRUE(m.add_report(0.0, 0, {0.0, 0.0}));
+    ASSERT_TRUE(m.add_report(0.5, 1, {8.0, 0.0}));
+    ASSERT_TRUE(m.add_report(1.0, 2, {100.0, 0.0}));
+    EXPECT_EQ(m.collect_ready(1.2).size(), 0u);
+    ASSERT_TRUE(m.next_deadline().has_value());
+    EXPECT_EQ(*m.next_deadline(), 1.0);
+    // At t=1.6 the overlap pair releases together; only the far circle
+    // remains and the cache must recompute to its deadline.
+    EXPECT_EQ(m.collect_ready(1.6).size(), 1u);
+    ASSERT_TRUE(m.next_deadline().has_value());
+    EXPECT_EQ(*m.next_deadline(), 2.0);
 }
 
 }  // namespace

@@ -228,5 +228,114 @@ TEST(Simulator, StepSingleEvent) {
     EXPECT_EQ(fired, 2);
 }
 
+// --- Slot-recycling regressions (arena event queue) ------------------------
+
+TEST(EventQueue, SlotCountTracksConcurrentNotTotalEvents) {
+    // A million sequential events through a depth-8 queue must not grow the
+    // arena past the high-water mark: slots are recycled, not appended.
+    EventQueue q;
+    int fired = 0;
+    for (int round = 0; round < 1000; ++round) {
+        for (int i = 0; i < 8; ++i) q.push(static_cast<Time>(i), [&] { ++fired; });
+        while (!q.empty()) q.pop().second();
+    }
+    EXPECT_EQ(fired, 8000);
+    EXPECT_LE(q.slot_count(), 8u);
+}
+
+TEST(EventQueue, CancelChurnKeepsSlotCountBounded) {
+    EventQueue q;
+    for (int round = 0; round < 500; ++round) {
+        std::vector<EventId> ids;
+        for (int i = 0; i < 16; ++i) {
+            ids.push_back(q.push(static_cast<Time>(i), [] {}));
+        }
+        for (std::size_t i = 0; i < ids.size(); i += 2) EXPECT_TRUE(q.cancel(ids[i]));
+        while (!q.empty()) q.pop().second();
+    }
+    EXPECT_LE(q.slot_count(), 16u);
+}
+
+TEST(EventQueue, StaleIdCannotCancelRecycledSlot) {
+    // After an event is popped its slot is recycled by the next push; the
+    // old id must be rejected (generation check), and cancelling the NEW id
+    // must still work.
+    EventQueue q;
+    const EventId old_id = q.push(1.0, [] {});
+    q.pop().second();
+    EXPECT_TRUE(q.empty());
+
+    int fired = 0;
+    const EventId new_id = q.push(2.0, [&] { ++fired; });
+    EXPECT_EQ(q.slot_count(), 1u) << "the popped slot should have been recycled";
+    EXPECT_FALSE(q.cancel(old_id)) << "stale id must not cancel the slot's next tenant";
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_TRUE(q.cancel(new_id));
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, StaleIdFromCancelledEventCannotCancelRecycledSlot) {
+    EventQueue q;
+    const EventId a = q.push(1.0, [] {});
+    EXPECT_TRUE(q.cancel(a));
+    int fired = 0;
+    q.push(1.0, [&] { ++fired; });  // reuses a's slot
+    EXPECT_FALSE(q.cancel(a));
+    while (!q.empty()) q.pop().second();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelAndRepushPreservesDeterministicOrdering) {
+    // Cancelling and re-pushing at the same instant must keep same-instant
+    // ordering purely by scheduling sequence, independent of which arena
+    // slots got recycled.
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 6; ++i) {
+        ids.push_back(q.push(1.0, [&order, i] { order.push_back(i); }));
+    }
+    // Cancel 1, 3, 5 and re-push replacements 10, 11, 12 (same time): they
+    // were scheduled later, so they run after the survivors 0, 2, 4.
+    for (int i = 1; i < 6; i += 2) EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+    for (int i = 10; i < 13; ++i) q.push(1.0, [&order, i] { order.push_back(i); });
+    while (!q.empty()) q.pop().second();
+    EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 10, 11, 12}));
+}
+
+TEST(EventCallback, LargeCapturesFallBackToHeap) {
+    // Captures past the inline budget still work (one heap allocation,
+    // std::function-style).
+    struct Big {
+        double data[32];
+    };
+    Big big{};
+    big.data[0] = 1.0;
+    big.data[31] = 2.0;
+    double sum = 0.0;
+    EventCallback cb([big, &sum] { sum = big.data[0] + big.data[31]; });
+    EventCallback moved = std::move(cb);
+    EXPECT_FALSE(static_cast<bool>(cb));
+    ASSERT_TRUE(static_cast<bool>(moved));
+    moved();
+    EXPECT_EQ(sum, 3.0);
+}
+
+TEST(EventCallback, NonTriviallyCopyableCapturesRelocateCorrectly) {
+    // A vector capture exercises the non-trivial relocate/destroy vtable
+    // entries (move constructor + destructor, not memcpy).
+    std::vector<int> payload{1, 2, 3};
+    int total = 0;
+    EventCallback cb([payload, &total] {
+        for (int x : payload) total += x;
+    });
+    EventCallback moved = std::move(cb);
+    EventCallback assigned;
+    assigned = std::move(moved);
+    assigned();
+    EXPECT_EQ(total, 6);
+}
+
 }  // namespace
 }  // namespace tibfit::sim

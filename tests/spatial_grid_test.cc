@@ -1,0 +1,135 @@
+// util::SpatialGrid — equivalence with the brute-force scan it replaces.
+// The grid's contract is *byte-identity*: same hit set, same (ascending)
+// order, via the exact predicate distance(p, q) <= r. The tests therefore
+// compare against the literal scan on randomized deployments, and pin the
+// hazardous geometries explicitly: points exactly on cell boundaries and
+// queries whose radius lands exactly on a point.
+#include "util/spatial_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/vec2.h"
+
+namespace tibfit::util {
+namespace {
+
+std::vector<std::size_t> brute_force(const std::vector<Vec2>& pts, const Vec2& q, double r) {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (distance(pts[i], q) <= r) out.push_back(i);
+    }
+    return out;
+}
+
+TEST(SpatialGridTest, EmptyGridReturnsNothing) {
+    SpatialGrid grid;
+    EXPECT_TRUE(grid.empty());
+    EXPECT_TRUE(grid.query_within({0.0, 0.0}, 100.0).empty());
+}
+
+TEST(SpatialGridTest, SinglePointInclusiveRadius) {
+    const std::vector<Vec2> pts{{10.0, 10.0}};
+    const SpatialGrid grid(pts, 5.0);
+    // Exactly at the radius edge: distance == r must be included.
+    EXPECT_EQ(grid.query_within({13.0, 14.0}, 5.0), (std::vector<std::size_t>{0}));
+    EXPECT_TRUE(grid.query_within({13.0, 14.0}, 4.999999).empty());
+}
+
+TEST(SpatialGridTest, MatchesBruteForceOnRandomDeployments) {
+    Rng rng(0xfeedULL);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::size_t n = 1 + rng.uniform_index(300);
+        const double side = rng.uniform(10.0, 500.0);
+        const double cell = rng.uniform(1.0, 80.0);
+        std::vector<Vec2> pts(n);
+        for (auto& p : pts) p = rng.point_in_rect(side, side);
+        const SpatialGrid grid(pts, cell);
+        for (int q = 0; q < 50; ++q) {
+            // Queries both inside and well outside the bounding box.
+            const Vec2 loc{rng.uniform(-side, 2.0 * side), rng.uniform(-side, 2.0 * side)};
+            const double r = rng.uniform(0.0, side);
+            EXPECT_EQ(grid.query_within(loc, r), brute_force(pts, loc, r))
+                << "trial " << trial << " query " << q << " n=" << n << " cell=" << cell
+                << " r=" << r;
+        }
+    }
+}
+
+TEST(SpatialGridTest, PointsExactlyOnCellBoundaries) {
+    // A lattice whose points all sit exactly on cell corners for cell = 10.
+    std::vector<Vec2> pts;
+    for (int x = 0; x <= 5; ++x) {
+        for (int y = 0; y <= 5; ++y) {
+            pts.push_back({10.0 * x, 10.0 * y});
+        }
+    }
+    const SpatialGrid grid(pts, 10.0);
+    Rng rng(7);
+    for (int q = 0; q < 200; ++q) {
+        // Query from lattice points (boundary) and arbitrary points alike,
+        // with radii that are exact multiples of the spacing — every hit at
+        // distance == r exercises the inclusive edge.
+        const Vec2 loc = (q % 2 == 0)
+                             ? Vec2{10.0 * static_cast<double>(rng.uniform_index(6)),
+                                    10.0 * static_cast<double>(rng.uniform_index(6))}
+                             : rng.point_in_rect(50.0, 50.0);
+        const double r = 10.0 * static_cast<double>(rng.uniform_index(4));
+        EXPECT_EQ(grid.query_within(loc, r), brute_force(pts, loc, r)) << "query " << q;
+    }
+}
+
+TEST(SpatialGridTest, DuplicateAndCollinearPoints) {
+    // Degenerate bounding boxes: all points on one vertical line, plus
+    // exact duplicates.
+    const std::vector<Vec2> pts{{5.0, 0.0}, {5.0, 10.0}, {5.0, 10.0}, {5.0, 25.0}};
+    const SpatialGrid grid(pts, 7.0);
+    EXPECT_EQ(grid.query_within({5.0, 10.0}, 0.0), (std::vector<std::size_t>{1, 2}));
+    EXPECT_EQ(grid.query_within({5.0, 12.0}, 13.0), (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(SpatialGridTest, RebuildReplacesContents) {
+    SpatialGrid grid(std::vector<Vec2>{{0.0, 0.0}}, 1.0);
+    EXPECT_EQ(grid.size(), 1u);
+    grid.rebuild(std::vector<Vec2>{{100.0, 100.0}, {101.0, 100.0}}, 2.0);
+    EXPECT_EQ(grid.size(), 2u);
+    EXPECT_TRUE(grid.query_within({0.0, 0.0}, 5.0).empty());
+    EXPECT_EQ(grid.query_within({100.0, 100.0}, 1.0), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(SpatialGridTest, InvalidCellSizeThrows) {
+    EXPECT_THROW(SpatialGrid(std::vector<Vec2>{{0.0, 0.0}}, 0.0), std::invalid_argument);
+    EXPECT_THROW(SpatialGrid(std::vector<Vec2>{{0.0, 0.0}}, -1.0), std::invalid_argument);
+}
+
+TEST(SpatialGridTest, NegativeRadiusMatchesBruteForce) {
+    // distance >= 0 <= negative r is always false — both sides empty.
+    const std::vector<Vec2> pts{{0.0, 0.0}};
+    const SpatialGrid grid(pts, 1.0);
+    EXPECT_TRUE(grid.query_within({0.0, 0.0}, -1.0).empty());
+}
+
+TEST(SpatialGridTest, CandidatesAreASupersetOfHits) {
+    Rng rng(0xabcdULL);
+    std::vector<Vec2> pts(128);
+    for (auto& p : pts) p = rng.point_in_rect(100.0, 100.0);
+    const SpatialGrid grid(pts, 10.0);
+    std::vector<std::size_t> candidates;
+    for (int q = 0; q < 50; ++q) {
+        const Vec2 loc = rng.point_in_rect(100.0, 100.0);
+        const double r = rng.uniform(0.0, 30.0);
+        grid.candidates_within(loc, r, candidates);
+        for (std::size_t hit : brute_force(pts, loc, r)) {
+            EXPECT_NE(std::find(candidates.begin(), candidates.end(), hit), candidates.end())
+                << "hit " << hit << " missing from candidate set";
+        }
+    }
+}
+
+}  // namespace
+}  // namespace tibfit::util

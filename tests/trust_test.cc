@@ -172,5 +172,77 @@ TEST_P(TrustLambdaSweep, TiBoundedAndMonotone) {
 INSTANTIATE_TEST_SUITE_P(Lambdas, TrustLambdaSweep,
                          ::testing::Values(0.05, 0.1, 0.25, 0.5, 1.0));
 
+// --- Memoisation invariant --------------------------------------------------
+//
+// TrustManager caches exp(-lambda * v) at mutation time instead of
+// recomputing it per query. The cached value must stay BIT-IDENTICAL to a
+// fresh evaluation of the same expression after every kind of mutation —
+// this is what makes the optimisation output-preserving.
+
+void expect_memo_exact(const TrustManager& tm, NodeId node) {
+    const double fresh = std::exp(-tm.params().lambda * tm.v(node));
+    EXPECT_EQ(tm.ti(node), fresh) << "cached ti diverged from exp(-lambda*v) for node "
+                                  << node;
+}
+
+TEST(TrustManagerMemo, MatchesFreshExpAfterJudgementSequences) {
+    TrustManager tm(params(0.25, 0.1));
+    // A deterministic but irregular penalty/reward mix across several nodes.
+    for (int step = 0; step < 500; ++step) {
+        const NodeId node = static_cast<NodeId>(step % 7);
+        if ((step * 2654435761u) % 10 < 3) {
+            tm.judge_faulty(node);
+        } else {
+            tm.judge_correct(node);
+        }
+        expect_memo_exact(tm, node);
+    }
+    for (NodeId n = 0; n < 7; ++n) expect_memo_exact(tm, n);
+}
+
+TEST(TrustManagerMemo, MatchesFreshExpAfterAdoptionAndRecovery) {
+    TrustManager tm(params(0.1, 0.05));
+    tm.judge_faulty(3);
+    tm.judge_faulty(5);
+    tm.judge_correct(5);
+
+    // Archive adoption paths: import, then merge on top.
+    tm.import_v({{1, 2.5}, {3, 0.75}});
+    expect_memo_exact(tm, 1);
+    expect_memo_exact(tm, 3);
+    expect_memo_exact(tm, 5);  // forgotten by import: back to fresh
+    tm.merge_v({{5, 1.25}, {9, -4.0}});  // negative v clamps to 0
+    expect_memo_exact(tm, 5);
+    expect_memo_exact(tm, 9);
+    EXPECT_EQ(tm.ti(9), 1.0);
+
+    // Quarantine forces ti below the removal threshold; the cache must
+    // reflect the forced v exactly.
+    tm.quarantine(1);
+    expect_memo_exact(tm, 1);
+    EXPECT_TRUE(tm.is_isolated(1));
+
+    tm.forget(1);
+    EXPECT_EQ(tm.ti(1), 1.0);
+    EXPECT_EQ(tm.v(1), 0.0);
+
+    tm.judge_faulty(5);
+    tm.reinstate(5);
+    expect_memo_exact(tm, 5);
+    EXPECT_EQ(tm.ti(5), 1.0);
+}
+
+TEST(TrustManagerMemo, CumulativeTiSumsCachedValues) {
+    TrustManager tm(params(0.25, 0.1));
+    std::vector<NodeId> nodes;
+    for (NodeId n = 0; n < 20; ++n) {
+        nodes.push_back(n);
+        for (NodeId k = 0; k <= n; ++k) tm.judge_faulty(n);
+    }
+    double expected = 0.0;
+    for (NodeId n : nodes) expected += std::exp(-tm.params().lambda * tm.v(n));
+    EXPECT_EQ(tm.cumulative_ti(nodes), expected);
+}
+
 }  // namespace
 }  // namespace tibfit::core
