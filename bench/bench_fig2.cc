@@ -15,15 +15,21 @@
 int main(int argc, char** argv) {
     using namespace tibfit;
     exp::BenchIo io("bench_fig2", argc, argv);
+    io.describe("Figure 2: binary-model accuracy vs % faulty, missed alarms only");
 
-    exp::BinaryConfig base;
-    base.n_nodes = 10;
-    base.events = 100;
-    base.lambda = 0.1;
-    base.missed_alarm_rate = 0.5;
-    base.false_alarm_rate = 0.0;
-    base.channel_drop = 0.0;  // Exp 1 isolates protocol behaviour from channel loss
-    base.seed = 20050628;     // DSN 2005
+    exp::Scenario base = exp::Scenario::binary_defaults();
+    base.binary.n_nodes = static_cast<std::size_t>(io.option("n_nodes", 10, "cluster size"));
+    base.binary.events = static_cast<std::size_t>(io.option("events", 100, "real events per run"));
+    base.engine.trust.lambda = io.option("lambda", 0.1, "trust decay constant");
+    base.faults.missed_alarm_rate = 0.5;
+    base.faults.false_alarm_rate = 0.0;
+    // Exp 1 isolates protocol behaviour from channel loss.
+    base.channel.drop_probability = 0.0;
+    base.seed = static_cast<std::uint64_t>(io.option("seed", 20050628, "base seed"));  // DSN 2005
+    if (io.help_requested()) {
+        io.print_help();
+        return 0;
+    }
 
     const std::vector<double> pct = {0.40, 0.50, 0.60, 0.70, 0.80, 0.90};
     const std::vector<double> ners = {0.00, 0.01, 0.05};
@@ -34,25 +40,25 @@ int main(int argc, char** argv) {
     for (double p : pct) {
         std::vector<double> row{100.0 * p};
         for (double ner : ners) {
-            exp::BinaryConfig c = base;
-            c.pct_faulty = p;
-            c.correct_ner = ner;
-            row.push_back(exp::mean_binary_accuracy(c, runs));
+            exp::Scenario s = base;
+            s.binary.pct_faulty = p;
+            s.faults.natural_error_rate = ner;
+            row.push_back(exp::mean_accuracy(s, runs));
         }
-        exp::BinaryConfig b = base;
-        b.pct_faulty = p;
-        b.correct_ner = 0.01;
-        b.policy = core::DecisionPolicy::MajorityVote;
-        row.push_back(exp::mean_binary_accuracy(b, runs));
+        exp::Scenario b = base;
+        b.binary.pct_faulty = p;
+        b.faults.natural_error_rate = 0.01;
+        b.engine.policy = core::DecisionPolicy::MajorityVote;
+        row.push_back(exp::mean_accuracy(b, runs));
         t.row_values(row, 3);
     }
     io.emit(t);
     io.params().set("pct_faulty", 0.5).set("correct_ner", 0.01);
     return io.finish([&](obs::Recorder& rec) {
-        exp::BinaryConfig c = base;
-        c.pct_faulty = 0.5;
-        c.correct_ner = 0.01;
-        c.recorder = &rec;
-        exp::run_binary_experiment(c);
+        exp::Scenario s = base;
+        s.binary.pct_faulty = 0.5;
+        s.faults.natural_error_rate = 0.01;
+        s.recorder = &rec;
+        exp::run_binary_experiment(s);
     });
 }

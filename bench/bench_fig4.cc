@@ -17,11 +17,16 @@
 int main(int argc, char** argv) {
     using namespace tibfit;
     exp::BenchIo io("bench_fig4", argc, argv);
+    io.describe("Figure 4: location-model accuracy vs % faulty, level-0 nodes");
 
-    exp::LocationConfig base;
-    base.fault_level = sensor::NodeClass::Level0;
-    base.events = 200;
-    base.seed = 20050628;
+    exp::Scenario base = exp::Scenario::location_defaults();
+    base.location.fault_level = sensor::NodeClass::Level0;
+    base.location.events = static_cast<std::size_t>(io.option("events", 200, "events per run"));
+    base.seed = static_cast<std::uint64_t>(io.option("seed", 20050628, "base seed"));
+    if (io.help_requested()) {
+        io.print_help();
+        return 0;
+    }
 
     const std::vector<double> pct = {0.10, 0.20, 0.30, 0.40, 0.50, 0.58};
     struct Series {
@@ -42,23 +47,23 @@ int main(int argc, char** argv) {
     for (double p : pct) {
         std::vector<double> row{100.0 * p};
         for (const auto& s : series) {
-            exp::LocationConfig c = base;
-            c.pct_faulty = p;
-            c.correct_sigma = s.cs;
-            c.faulty_sigma = s.fs;
-            c.policy = s.policy;
-            row.push_back(exp::mean_location_accuracy(c, runs));
+            exp::Scenario sc = base;
+            sc.location.pct_faulty = p;
+            sc.faults.correct_sigma = s.cs;
+            sc.faults.faulty_sigma = s.fs;
+            sc.engine.policy = s.policy;
+            row.push_back(exp::mean_accuracy(sc, runs));
         }
         t.row_values(row, 3);
     }
     io.emit(t);
     io.params().set("pct_faulty", 0.3).set("correct_sigma", 1.6).set("faulty_sigma", 4.25);
     return io.finish([&](obs::Recorder& rec) {
-        exp::LocationConfig c = base;
-        c.pct_faulty = 0.3;
-        c.correct_sigma = 1.6;
-        c.faulty_sigma = 4.25;
-        c.recorder = &rec;
-        exp::run_location_experiment(c);
+        exp::Scenario sc = base;
+        sc.location.pct_faulty = 0.3;
+        sc.faults.correct_sigma = 1.6;
+        sc.faults.faulty_sigma = 4.25;
+        sc.recorder = &rec;
+        exp::run_location_experiment(sc);
     });
 }

@@ -135,6 +135,16 @@ void TrustManager::merge_v(const std::vector<std::pair<NodeId, double>>& values)
     }
 }
 
+TrustCheckpoint TrustManager::checkpoint() const {
+    return TrustCheckpoint{params_, export_v()};
+}
+
+TrustManager TrustManager::restore(const TrustCheckpoint& snapshot) {
+    TrustManager t(snapshot.params);
+    t.import_v(snapshot.v);
+    return t;
+}
+
 std::vector<NodeId> TrustManager::isolated_nodes() const {
     std::vector<NodeId> out;
     for (NodeId n = 0; n < cells_.size(); ++n) {

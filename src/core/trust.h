@@ -64,6 +64,19 @@ class TrustIndex {
     double v_ = 0.0;
 };
 
+/// A serialized snapshot of a trust table: the parameters plus every
+/// tracked node's raw `v` accumulator in ascending node order. This is the
+/// TI-transfer wire format promoted to a value type, so the same state can
+/// be archived at a base station, shipped across a CH rotation, or restored
+/// into a successor after a CH crash (warm failover). TI is derived state
+/// and deliberately not stored: restoring recomputes exp(-lambda*v) through
+/// the same code path every mutation uses, so a restored table is
+/// bit-identical to the one that was checkpointed.
+struct TrustCheckpoint {
+    TrustParams params;
+    std::vector<std::pair<NodeId, double>> v;
+};
+
 /// The CH-side trust table: node id -> TrustIndex, plus diagnosis.
 ///
 /// The table is a value type so it can be shipped to the base station at the
@@ -125,6 +138,13 @@ class TrustManager {
     /// nodes — the base station combining per-cluster deposits without
     /// losing other clusters' history.
     void merge_v(const std::vector<std::pair<NodeId, double>>& values);
+
+    /// Serializes the complete table state (params + v accumulators).
+    TrustCheckpoint checkpoint() const;
+
+    /// Reconstructs a table from a checkpoint. The result carries no
+    /// recorder attachment; the owner re-attaches if it wants telemetry.
+    static TrustManager restore(const TrustCheckpoint& snapshot);
 
     /// Applies an externally decided judgement stream (shadow CHs mirror
     /// the same inputs; the base station demotes a faulty CH): identical to

@@ -1,8 +1,11 @@
 #include "exp/bench_io.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "exp/binary_experiment.h"
@@ -44,6 +47,12 @@ BenchIo::BenchIo(std::string name, int argc, char** argv) : name_(std::move(name
             apply_jobs(std::string(arg.substr(std::strlen("--jobs="))), name_);
             continue;
         }
+        // --help short-circuits the run before finish(), so it never
+        // belongs in the artifact's argv echo either.
+        if (arg == "--help" || arg == "-h") {
+            help_ = true;
+            continue;
+        }
         argv_.emplace_back(argv[i]);
         if (arg == "--csv") {
             csv_ = true;
@@ -54,8 +63,8 @@ BenchIo::BenchIo(std::string name, int argc, char** argv) : name_(std::move(name
             argv_.emplace_back(json_path_);
         } else if (arg.rfind("--json=", 0) == 0) {
             json_path_ = arg.substr(std::strlen("--json="));
-        } else {
-            params_.parse_assignment(std::string(arg));
+        } else if (params_.parse_assignment(std::string(arg))) {
+            cli_keys_.emplace_back(arg.substr(0, arg.find('=')));
         }
     }
 }
@@ -63,6 +72,75 @@ BenchIo::BenchIo(std::string name, int argc, char** argv) : name_(std::move(name
 std::size_t BenchIo::trial_runs(std::size_t dflt) const {
     const long n = params_.get_int("runs", static_cast<long>(dflt));
     return n > 0 ? static_cast<std::size_t>(n) : dflt;
+}
+
+void BenchIo::declare(const std::string& key, std::string dflt, const std::string& help) {
+    for (const auto& o : options_) {
+        if (o.key == key) return;  // first declaration wins
+    }
+    options_.push_back({key, std::move(dflt), help});
+}
+
+bool BenchIo::declared(const std::string& key) const {
+    return std::any_of(options_.begin(), options_.end(),
+                       [&](const DeclaredOption& o) { return o.key == key; });
+}
+
+long BenchIo::option(const std::string& key, long dflt, const std::string& help) {
+    declare(key, std::to_string(dflt), help);
+    return params_.get_int(key, dflt);
+}
+
+double BenchIo::option(const std::string& key, double dflt, const std::string& help) {
+    std::ostringstream rendered;
+    rendered << dflt;
+    declare(key, rendered.str(), help);
+    return params_.get_double(key, dflt);
+}
+
+bool BenchIo::option(const std::string& key, bool dflt, const std::string& help) {
+    declare(key, dflt ? "true" : "false", help);
+    return params_.get_bool(key, dflt);
+}
+
+std::string BenchIo::option(const std::string& key, std::string dflt, const std::string& help) {
+    declare(key, dflt, help);
+    return params_.get_string(key, dflt);
+}
+
+void BenchIo::print_help(std::ostream& out) const {
+    out << "usage: " << name_ << " [key=value ...] [flags]\n";
+    if (!description_.empty()) out << "\n  " << description_ << "\n";
+    std::size_t width = std::strlen("--json PATH");
+    for (const auto& o : options_) width = std::max(width, o.key.size() + 1 + o.dflt.size());
+    const auto row = [&](const std::string& lhs, const std::string& help) {
+        out << "  " << std::left << std::setw(static_cast<int>(width) + 2) << lhs << help
+            << '\n';
+    };
+    if (!options_.empty()) {
+        out << "\noptions:\n";
+        for (const auto& o : options_) row(o.key + '=' + o.dflt, o.help);
+    }
+    out << "\nstandard:\n";
+    row("runs=N", "replications per data point (default is per bench)");
+    row("--csv", "machine-readable tables on stdout");
+    row("--json PATH", "write the schema-versioned run artifact");
+    row("--jobs N", "worker threads for trial fan-out (outputs identical at any N)");
+    row("--timing", "include wall time and peak RSS in the artifact");
+    row("--help", "this message");
+}
+
+void BenchIo::print_help() const { print_help(std::cout); }
+
+void BenchIo::warn_undeclared() const {
+    // Only meaningful once the bench declares its knobs; a bench that
+    // never calls option() keeps the old accept-anything behaviour.
+    if (options_.empty()) return;
+    for (const auto& key : cli_keys_) {
+        if (key == "runs" || declared(key)) continue;
+        std::cerr << name_ << ": warning: unrecognised parameter '" << key
+                  << "=' (see --help)\n";
+    }
 }
 
 void BenchIo::emit(const util::Table& t) {
@@ -75,6 +153,7 @@ void BenchIo::emit(const util::Table& t) {
 }
 
 int BenchIo::finish(const std::function<void(obs::Recorder&)>& instrument) {
+    warn_undeclared();
     if (json_path_.empty()) return 0;
     obs::Recorder rec;
     if (instrument) {
@@ -108,13 +187,13 @@ int BenchIo::finish(const std::function<void(obs::Recorder&)>& instrument) {
 }
 
 void instrument_default_run(obs::Recorder& rec) {
-    BinaryConfig cfg;
-    cfg.n_nodes = 10;
-    cfg.pct_faulty = 0.4;
-    cfg.events = 50;
-    cfg.seed = 1;
-    cfg.recorder = &rec;
-    run_binary_experiment(cfg);
+    Scenario s = Scenario::binary_defaults();
+    s.binary.n_nodes = 10;
+    s.binary.pct_faulty = 0.4;
+    s.binary.events = 50;
+    s.seed = 1;
+    s.recorder = &rec;
+    run_binary_experiment(s);
 }
 
 }  // namespace tibfit::exp

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,38 @@ class BenchIo {
     /// command-line override when given (echoed into the artifact like any
     /// parameter), else `dflt` — the bench's paper-faithful default.
     std::size_t trial_runs(std::size_t dflt) const;
+
+    /// One-line bench description printed at the top of --help.
+    void describe(std::string text) { description_ = std::move(text); }
+
+    /// Declares a `key=value` option and returns its effective value: the
+    /// command-line override when given, else `dflt`. Declaring registers
+    /// the key for --help and the unrecognised-parameter warning only —
+    /// defaults are never written into params(), so the artifact's
+    /// parameter echo keeps carrying exactly what the user typed plus what
+    /// the bench sets explicitly (artifact shape is part of the
+    /// determinism-CI diff).
+    long option(const std::string& key, long dflt, const std::string& help);
+    long option(const std::string& key, int dflt, const std::string& help) {
+        return option(key, static_cast<long>(dflt), help);
+    }
+    double option(const std::string& key, double dflt, const std::string& help);
+    bool option(const std::string& key, bool dflt, const std::string& help);
+    std::string option(const std::string& key, std::string dflt, const std::string& help);
+    std::string option(const std::string& key, const char* dflt, const std::string& help) {
+        return option(key, std::string(dflt), help);
+    }
+
+    /// True when --help / -h was passed. Benches should declare their
+    /// options first, then `if (io.help_requested()) { io.print_help();
+    /// return 0; }`.
+    bool help_requested() const { return help_; }
+
+    /// Uniform usage text: description, the declared key=value options,
+    /// then the standard flags every bench shares (--csv, --json, --jobs,
+    /// --timing, runs=N, --help).
+    void print_help(std::ostream& out) const;
+    void print_help() const;
 
     /// Prints `t` to stdout (CSV with --csv, pretty otherwise) and keeps a
     /// copy for the artifact.
@@ -63,12 +96,26 @@ class BenchIo {
     int finish(const std::function<void(obs::Recorder&)>& instrument = {});
 
   private:
+    struct DeclaredOption {
+        std::string key;
+        std::string dflt;  ///< rendered default, for --help only
+        std::string help;
+    };
+
+    void declare(const std::string& key, std::string dflt, const std::string& help);
+    bool declared(const std::string& key) const;
+    void warn_undeclared() const;
+
     std::string name_;
+    std::string description_;
     std::vector<std::string> argv_;
     bool csv_ = false;
     bool timing_ = false;
+    bool help_ = false;
     std::string json_path_;
     util::Config params_;
+    std::vector<std::string> cli_keys_;  ///< keys the user actually passed
+    std::vector<DeclaredOption> options_;
     std::vector<util::Table> tables_;
 };
 

@@ -9,7 +9,9 @@
 #include "cluster/base_station.h"
 #include "cluster/cluster_head.h"
 #include "cluster/shadow.h"
+#include "inject/campaign.h"
 #include "net/channel.h"
+#include "net/routing.h"
 #include "obs/names.h"
 #include "obs/recorder.h"
 #include "sensor/event_generator.h"
@@ -22,42 +24,76 @@ namespace {
 
 /// Everything is in mutual radio/sensing range in Experiment 1.
 constexpr double kBigRadius = 1000.0;
-constexpr double kField = 40.0;
 
 }  // namespace
 
-BinaryResult run_binary_experiment(const BinaryConfig& config) {
-    sim::Simulator simulator;
-    util::Rng root(config.seed);
+Scenario to_scenario(const BinaryConfig& c) {
+    Scenario s = Scenario::binary_defaults();
+    s.seed = c.seed;
+    s.engine.policy = c.policy;
+    s.engine.t_out = c.t_out;
+    s.engine.trust.lambda = c.lambda;
+    s.engine.trust.fault_rate = c.fault_rate;
+    s.engine.trust.removal_ti = c.removal_ti;
+    s.channel.drop_probability = c.channel_drop;
+    s.faults.natural_error_rate = c.correct_ner;
+    s.faults.missed_alarm_rate = c.missed_alarm_rate;
+    s.faults.false_alarm_rate = c.false_alarm_rate;
+    s.binary.n_nodes = c.n_nodes;
+    s.binary.pct_faulty = c.pct_faulty;
+    s.binary.false_alarm_spread_touts = c.false_alarm_spread_touts;
+    s.binary.events = c.events;
+    s.binary.event_interval = c.event_interval;
+    s.binary.use_shadows = c.use_shadows;
+    s.binary.corrupt_ch = c.corrupt_ch;
+    s.recorder = c.recorder;
+    s.keep_decisions = c.keep_decisions;
+    return s;
+}
 
-    obs::Recorder* rec = config.recorder;
+BinaryResult run_binary_experiment(const BinaryConfig& config) {
+    return run_binary_experiment(to_scenario(config));
+}
+
+BinaryResult run_binary_experiment(const Scenario& scenario) {
+    const BinaryWorkload& wl = scenario.binary;
+    const double field = scenario.deployment.field;
+    const std::size_t n_nodes = wl.n_nodes;
+
+    sim::Simulator simulator;
+    util::Rng root(scenario.seed);
+
+    obs::Recorder* rec = scenario.recorder;
     if (rec) {
         obs::preregister_standard_metrics(rec->metrics());
         rec->set_clock([&simulator] { return simulator.now(); });
     }
 
-    net::ChannelParams chan_params;
-    chan_params.drop_probability = config.channel_drop;
-    net::Channel channel(simulator, root.stream("channel"), chan_params);
+    net::Channel channel(simulator, root.stream("channel"), scenario.channel);
     channel.set_recorder(rec);
 
-    core::TrustParams trust;
-    trust.lambda = config.lambda;
-    trust.fault_rate = config.fault_rate < 0.0 ? config.correct_ner : config.fault_rate;
-    trust.removal_ti = config.removal_ti;
+    // One Campaign per run; its streams derive from the run's root, so a
+    // campaign replayed under a different trial seed reshuffles its coins
+    // exactly like every other component.
+    std::optional<inject::Campaign> campaign;
+    if (scenario.campaign.enabled()) {
+        campaign.emplace(scenario.campaign, simulator, root.stream("inject"));
+        campaign->set_recorder(rec);
+        campaign->arm_channel(channel);
+    }
 
-    sensor::FaultParams faults;
-    faults.natural_error_rate = config.correct_ner;
-    faults.missed_alarm_rate = config.missed_alarm_rate;
-    faults.false_alarm_rate = config.false_alarm_rate;
+    const core::TrustParams trust = scenario.effective_trust();
+    sensor::FaultParams faults = scenario.faults;  // mutable: fault-rate shifts
 
     // Choose which nodes are faulty (uniformly, deterministic per seed).
+    // The shuffled order doubles as the compromise order for campaign
+    // onsets: raising the compromised fraction extends the same prefix.
     const auto n_faulty =
-        static_cast<std::size_t>(config.pct_faulty * static_cast<double>(config.n_nodes) + 0.5);
-    std::vector<bool> faulty(config.n_nodes, false);
+        static_cast<std::size_t>(wl.pct_faulty * static_cast<double>(n_nodes) + 0.5);
+    std::vector<bool> faulty(n_nodes, false);
+    std::vector<std::size_t> order(n_nodes);
+    std::iota(order.begin(), order.end(), 0);
     {
-        std::vector<std::size_t> order(config.n_nodes);
-        std::iota(order.begin(), order.end(), 0);
         util::Rng pick = root.stream("select");
         for (std::size_t i = order.size(); i > 1; --i) {
             std::swap(order[i - 1], order[pick.uniform_index(i)]);
@@ -67,12 +103,12 @@ BinaryResult run_binary_experiment(const BinaryConfig& config) {
 
     // Build the population.
     util::Rng placement = root.stream("placement");
-    std::vector<util::Vec2> positions(config.n_nodes);
+    std::vector<util::Vec2> positions(n_nodes);
     std::vector<std::unique_ptr<sensor::SensorNode>> nodes;
-    nodes.reserve(config.n_nodes);
-    const auto ch_id = static_cast<sim::ProcessId>(config.n_nodes);
-    for (std::size_t i = 0; i < config.n_nodes; ++i) {
-        positions[i] = placement.point_in_rect(kField, kField);
+    nodes.reserve(n_nodes);
+    const auto ch_id = static_cast<sim::ProcessId>(n_nodes);
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+        positions[i] = placement.point_in_rect(field, field);
         std::unique_ptr<sensor::FaultBehavior> behavior;
         if (faulty[i]) {
             behavior = std::make_unique<sensor::Level0Fault>(faults, /*binary_mode=*/true);
@@ -89,28 +125,26 @@ BinaryResult run_binary_experiment(const BinaryConfig& config) {
         nodes.push_back(std::move(node));
     }
 
-    core::EngineConfig engine_cfg;
-    engine_cfg.policy = config.policy;
+    core::EngineConfig engine_cfg = scenario.engine;
     engine_cfg.sensing_radius = kBigRadius;
-    engine_cfg.t_out = config.t_out;
     engine_cfg.trust = trust;
 
     cluster::ClusterHead ch(simulator, ch_id, net::Radio(channel, ch_id), engine_cfg);
     ch.set_recorder(rec);
     ch.set_binary_mode(true);
     ch.set_topology(positions);
-    ch.set_corrupt(config.corrupt_ch);
-    channel.attach(ch, {kField / 2.0, kField / 2.0}, kBigRadius);
+    ch.set_corrupt(wl.corrupt_ch);
+    channel.attach(ch, {field / 2.0, field / 2.0}, kBigRadius);
     channel.set_drop_probability(ch_id, 0.0);  // control traffic is reliable
 
     // Section 3.4 machinery: two shadows monitoring the CH + a base
     // station whose vote becomes the authoritative output.
-    const auto sch1_id = static_cast<sim::ProcessId>(config.n_nodes + 1);
-    const auto sch2_id = static_cast<sim::ProcessId>(config.n_nodes + 2);
-    const auto bs_id = static_cast<sim::ProcessId>(config.n_nodes + 3);
+    const auto sch1_id = static_cast<sim::ProcessId>(n_nodes + 1);
+    const auto sch2_id = static_cast<sim::ProcessId>(n_nodes + 2);
+    const auto bs_id = static_cast<sim::ProcessId>(n_nodes + 3);
     std::optional<cluster::ShadowClusterHead> sch1, sch2;
     std::optional<cluster::BaseStation> station;
-    if (config.use_shadows) {
+    if (wl.use_shadows) {
         ch.set_base_station(bs_id);
         sch1.emplace(simulator, sch1_id, net::Radio(channel, sch1_id), engine_cfg, ch_id,
                      bs_id);
@@ -120,19 +154,54 @@ BinaryResult run_binary_experiment(const BinaryConfig& config) {
             s->set_binary_mode(true);
             s->set_topology(positions);
         }
-        channel.attach(*sch1, {kField / 2.0 + 1.0, kField / 2.0}, kBigRadius);
-        channel.attach(*sch2, {kField / 2.0 - 1.0, kField / 2.0}, kBigRadius);
+        channel.attach(*sch1, {field / 2.0 + 1.0, field / 2.0}, kBigRadius);
+        channel.attach(*sch2, {field / 2.0 - 1.0, field / 2.0}, kBigRadius);
         channel.set_drop_probability(sch1_id, 0.0);
         channel.set_drop_probability(sch2_id, 0.0);
         channel.add_monitor(sch1_id, ch_id);
         channel.add_monitor(sch2_id, ch_id);
         station.emplace(simulator, bs_id, net::Radio(channel, bs_id), trust,
-                        /*alert_wait=*/config.t_out / 2.0);
-        channel.attach(*station, {kField / 2.0, kField + 20.0}, kBigRadius);
+                        /*alert_wait=*/engine_cfg.t_out / 2.0);
+        channel.attach(*station, {field / 2.0, field + 20.0}, kBigRadius);
         channel.set_drop_probability(bs_id, 0.0);
     }
 
-    sensor::EventGenerator generator(simulator, root.stream("events"), kField, kField);
+    // Standby CH for failover campaigns: attached and topology-aware from
+    // the start but inactive, so it costs nothing until the kill event.
+    const auto standby_id = static_cast<sim::ProcessId>(n_nodes + 4);
+    std::optional<cluster::ClusterHead> standby;
+    const bool has_failover = campaign && !scenario.campaign.failovers.empty();
+    if (has_failover) {
+        standby.emplace(simulator, standby_id, net::Radio(channel, standby_id), engine_cfg);
+        standby->set_recorder(rec);
+        standby->set_binary_mode(true);
+        standby->set_topology(positions);
+        standby->set_active(false);
+        channel.attach(*standby, {field / 2.0, field / 2.0 + 1.5}, kBigRadius);
+        channel.set_drop_probability(standby_id, 0.0);
+    }
+
+    // Optional ack/retry relay fabric: even in the single-hop cluster the
+    // reliable transport retransmits reports the (possibly degraded)
+    // channel eats, so correct nodes degrade gracefully under injection.
+    net::RoutingTable routes;
+    if (wl.reliable_reports) {
+        std::vector<net::RouterEntry> entries;
+        for (std::size_t i = 0; i < n_nodes; ++i) {
+            entries.push_back({static_cast<sim::ProcessId>(i), positions[i], kBigRadius});
+        }
+        entries.push_back({ch_id, channel.position(ch_id), kBigRadius});
+        if (standby) entries.push_back({standby_id, channel.position(standby_id), kBigRadius});
+        routes.rebuild(std::move(entries));
+        for (auto& n : nodes) {
+            n->enable_relay(&routes, scenario.transport);
+            if (auto* t = n->transport()) t->set_recorder(rec);
+        }
+        ch.enable_relay(&routes, scenario.transport);
+        if (standby) standby->enable_relay(&routes, scenario.transport);
+    }
+
+    sensor::EventGenerator generator(simulator, root.stream("events"), field, field);
     {
         std::vector<sensor::SensorNode*> raw;
         raw.reserve(nodes.size());
@@ -142,6 +211,58 @@ BinaryResult run_binary_experiment(const BinaryConfig& config) {
 
     std::vector<cluster::DecisionRecord> decisions;
     ch.on_decision([&decisions](const cluster::DecisionRecord& r) { decisions.push_back(r); });
+    if (standby) {
+        standby->on_decision(
+            [&decisions](const cluster::DecisionRecord& r) { decisions.push_back(r); });
+    }
+
+    // Campaign timeline wiring.
+    if (campaign) {
+        campaign->on_compromise([&](const inject::CompromiseOnset& onset) {
+            const auto target = static_cast<std::size_t>(
+                onset.target_pct * static_cast<double>(n_nodes) + 0.5);
+            for (std::size_t i = 0; i < target && i < n_nodes; ++i) {
+                const std::size_t idx = order[i];
+                if (faulty[idx]) continue;
+                faulty[idx] = true;
+                nodes[idx]->set_behavior(
+                    std::make_unique<sensor::Level0Fault>(faults, /*binary_mode=*/true));
+            }
+        });
+        campaign->on_fault_shift([&](const inject::FaultRateShift& shift) {
+            if (shift.missed_alarm_rate >= 0.0) faults.missed_alarm_rate = shift.missed_alarm_rate;
+            if (shift.false_alarm_rate >= 0.0) faults.false_alarm_rate = shift.false_alarm_rate;
+            for (std::size_t i = 0; i < n_nodes; ++i) {
+                if (!faulty[i]) continue;
+                nodes[i]->set_behavior(
+                    std::make_unique<sensor::Level0Fault>(faults, /*binary_mode=*/true));
+            }
+        });
+        if (has_failover) {
+            campaign->on_failover([&](const inject::ChFailover& f, bool recovering) {
+                cluster::ClusterHead& from = recovering ? *standby : ch;
+                cluster::ClusterHead& to = recovering ? ch : *standby;
+                const core::TrustCheckpoint ckpt = from.engine().trust().checkpoint();
+                from.set_active(false);
+                // begin_leadership reactivates `to` and re-attaches its
+                // recorder; cold handoff hands over a fresh table instead.
+                to.begin_leadership(f.warm_handoff ? core::TrustManager::restore(ckpt)
+                                                   : core::TrustManager(trust));
+                for (auto& n : nodes) n->set_cluster_head(to.id());
+                if (rec) {
+                    rec->metrics().counter(obs::metric::kInjectFailovers).inc();
+                    if (rec->trace().enabled()) {
+                        rec->trace().append(
+                            simulator.now(),
+                            obs::ChFailed{static_cast<std::uint32_t>(from.id()),
+                                          static_cast<std::uint32_t>(to.id()), f.warm_handoff,
+                                          static_cast<std::uint32_t>(ckpt.v.size())});
+                    }
+                }
+            });
+        }
+        campaign->schedule();
+    }
 
     if (rec) {
         generator.on_event([rec](const sensor::GeneratedEvent& ev) {
@@ -154,14 +275,17 @@ BinaryResult run_binary_experiment(const BinaryConfig& config) {
     }
 
     const double start = 5.0;
-    generator.schedule_events(config.events, config.event_interval, start);
-    if (config.false_alarm_rate > 0.0) {
+    generator.schedule_events(wl.events, wl.event_interval, start);
+    if (faults.false_alarm_rate > 0.0 ||
+        (campaign && !scenario.campaign.fault_shifts.empty())) {
         // Jitter each node's false-alarm opportunity: level-0 alarms are
         // uncoordinated in time, but land close enough that several can
-        // fall into one CH adjudication window (see BinaryConfig).
-        generator.schedule_quiet_windows(config.events, config.event_interval,
-                                         start + config.event_interval / 3.0,
-                                         config.false_alarm_spread_touts * config.t_out);
+        // fall into one CH adjudication window (see BinaryWorkload). Quiet
+        // windows are also scheduled when a fault shift could raise the
+        // false-alarm rate mid-run.
+        generator.schedule_quiet_windows(wl.events, wl.event_interval,
+                                         start + wl.event_interval / 3.0,
+                                         wl.false_alarm_spread_touts * engine_cfg.t_out);
     }
 
     simulator.run();
@@ -172,7 +296,7 @@ BinaryResult run_binary_experiment(const BinaryConfig& config) {
 
     // With shadows deployed, the base station's vote is authoritative:
     // override each CH announcement with the station's final conclusion.
-    if (config.use_shadows) {
+    if (wl.use_shadows) {
         for (auto& d : decisions) {
             for (const auto& f : station->final_decisions()) {
                 if (f.seq == d.seq) {
@@ -184,13 +308,20 @@ BinaryResult run_binary_experiment(const BinaryConfig& config) {
         result.ch_overrides = station->overrides();
     }
 
+    // Two CHs (failover) each keep a private decision sequence; scoring
+    // matches on window-open times, so sort the merged log by time.
+    if (standby) {
+        std::stable_sort(decisions.begin(), decisions.end(),
+                         [](const auto& a, const auto& b) { return a.time < b.time; });
+    }
+
     std::vector<bool> decision_matched(decisions.size(), false);
     for (const auto& ev : generator.history()) {
         bool detected = false;
         for (std::size_t d = 0; d < decisions.size(); ++d) {
             if (decision_matched[d]) continue;
             const double dt = decisions[d].window_opened - ev.time;
-            if (dt >= 0.0 && dt <= config.t_out) {
+            if (dt >= 0.0 && dt <= engine_cfg.t_out) {
                 decision_matched[d] = true;
                 detected = decisions[d].event_declared;
                 break;
@@ -213,11 +344,13 @@ BinaryResult run_binary_experiment(const BinaryConfig& config) {
         result.events ? static_cast<double>(result.detected) / static_cast<double>(result.events)
                       : 0.0;
 
-    // Final trust state, split by ground-truth class.
-    const auto& tm = ch.engine().trust();
+    // Final trust state, split by ground-truth class — read from whichever
+    // CH is leading when the run ends.
+    const cluster::ClusterHead& final_ch = standby && standby->active() ? *standby : ch;
+    const auto& tm = final_ch.engine().trust();
     double sum_c = 0.0, sum_f = 0.0;
     std::size_t n_c = 0, n_f = 0;
-    for (std::size_t i = 0; i < config.n_nodes; ++i) {
+    for (std::size_t i = 0; i < n_nodes; ++i) {
         const double ti = tm.ti(static_cast<core::NodeId>(i));
         if (faulty[i]) {
             sum_f += ti;
@@ -230,7 +363,7 @@ BinaryResult run_binary_experiment(const BinaryConfig& config) {
     result.mean_ti_correct = n_c ? sum_c / static_cast<double>(n_c) : 1.0;
     result.mean_ti_faulty = n_f ? sum_f / static_cast<double>(n_f) : 1.0;
 
-    if (config.keep_decisions) result.decisions = decisions;
+    if (scenario.keep_decisions) result.decisions = decisions;
 
     if (rec) {
         auto& reg = rec->metrics();
@@ -245,6 +378,13 @@ BinaryResult run_binary_experiment(const BinaryConfig& config) {
             .set(n_all ? (sum_c + sum_f) / static_cast<double>(n_all) : 1.0);
         reg.gauge(obs::metric::kExpMeanTiCorrect).set(result.mean_ti_correct);
         reg.gauge(obs::metric::kExpMeanTiFaulty).set(result.mean_ti_faulty);
+        if (campaign) {
+            std::size_t degraded = 0;
+            for (const auto& d : decisions) {
+                degraded += scenario.campaign.degraded_at(d.time) ? 1 : 0;
+            }
+            reg.counter(obs::metric::kInjectDecisionsDegraded).inc(degraded);
+        }
         // The simulator dies with this frame; leave no dangling clock.
         rec->set_clock({});
     }

@@ -14,6 +14,7 @@
 #include "cluster/cluster_head.h"
 #include "core/binary_arbiter.h"
 #include "core/trust.h"
+#include "exp/scenario.h"
 #include "sensor/fault_model.h"
 
 namespace tibfit::obs {
@@ -23,6 +24,8 @@ class Recorder;
 namespace tibfit::exp {
 
 /// Full parameter set of one binary run (Table 1 defaults).
+/// Superseded by exp::Scenario (Kind::Binary): this flat struct remains as
+/// a thin shim for one release — to_scenario() maps every field.
 struct BinaryConfig {
     std::size_t n_nodes = 10;
     double pct_faulty = 0.4;          ///< fraction of nodes that are level-0 faulty
@@ -77,7 +80,18 @@ struct BinaryResult {
     std::vector<cluster::DecisionRecord> decisions;
 };
 
-/// Runs one complete binary simulation (network, channel, CH, generator).
+/// Runs one complete binary simulation (network, channel, CH, generator),
+/// including any fault-injection campaign the scenario carries. The
+/// scenario's `kind` is ignored — this entry point always runs the binary
+/// workload.
+BinaryResult run_binary_experiment(const Scenario& scenario);
+
+/// The exact Scenario the legacy flat config describes (single source of
+/// the field mapping; the deprecated shim goes through it).
+Scenario to_scenario(const BinaryConfig& config);
+
+/// Legacy entry point.
+[[deprecated("build an exp::Scenario (see to_scenario) and call the Scenario overload")]]
 BinaryResult run_binary_experiment(const BinaryConfig& config);
 
 }  // namespace tibfit::exp

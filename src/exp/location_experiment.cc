@@ -4,10 +4,12 @@
 #include <cmath>
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <vector>
 
 #include "cluster/base_station.h"
 #include "cluster/cluster_head.h"
+#include "inject/campaign.h"
 #include "net/channel.h"
 #include "net/routing.h"
 #include "obs/names.h"
@@ -44,47 +46,98 @@ std::unique_ptr<sensor::FaultBehavior> make_behavior(
 
 }  // namespace
 
-LocationResult run_location_experiment(const LocationConfig& config) {
-    sim::Simulator simulator;
-    util::Rng root(config.seed);
+Scenario to_scenario(const LocationConfig& c) {
+    Scenario s = Scenario::location_defaults();
+    s.seed = c.seed;
+    s.engine.policy = c.policy;
+    s.engine.r_error = c.r_error;
+    s.engine.t_out = c.t_out;
+    s.engine.sensing_radius = c.sensing_radius;
+    s.engine.trust.lambda = c.lambda;
+    s.engine.trust.fault_rate = c.fault_rate;
+    s.engine.trust.removal_ti = c.removal_ti;
+    s.engine.collusion_defense = c.collusion_defense;
+    s.engine.trust_weighted_location = c.trust_weighted_location;
+    s.channel.drop_probability = c.channel_drop;
+    s.channel.airtime = c.channel_airtime;
+    s.deployment.field = c.field;
+    s.deployment.sensing_radius = c.sensing_radius;
+    s.faults.correct_sigma = c.correct_sigma;
+    s.faults.faulty_sigma = c.faulty_sigma;
+    s.faults.faulty_drop_rate = c.faulty_drop_rate;
+    s.faults.false_alarm_rate = c.false_alarm_rate;
+    s.faults.lower_ti = c.lower_ti;
+    s.faults.upper_ti = c.upper_ti;
+    s.faults.collusion_jitter = c.collusion_jitter;
+    s.mobility.speed_min = c.speed_min;
+    s.mobility.speed_max = c.speed_max;
+    s.mobility.tick = c.mobility_tick;
+    s.location.n_nodes = c.n_nodes;
+    s.location.grid_layout = c.grid_layout;
+    s.location.pct_faulty = c.pct_faulty;
+    s.location.fault_level = c.fault_level;
+    s.location.multihop = c.multihop;
+    s.location.radio_range = c.radio_range;
+    s.location.mobile = c.mobile;
+    s.location.n_ch = c.n_ch;
+    s.location.rotation_period = c.rotation_period;
+    s.location.events = c.events;
+    s.location.event_interval = c.event_interval;
+    s.location.burst = c.burst;
+    s.location.tx_jitter = c.tx_jitter;
+    s.location.decay = c.decay;
+    s.location.decay_initial = c.decay_initial;
+    s.location.decay_step = c.decay_step;
+    s.location.decay_final = c.decay_final;
+    s.location.decay_epoch_events = c.decay_epoch_events;
+    s.location.epoch_events = c.epoch_events;
+    s.location.keep_trace = c.keep_trace;
+    s.recorder = c.recorder;
+    return s;
+}
 
-    obs::Recorder* rec = config.recorder;
+LocationResult run_location_experiment(const LocationConfig& config) {
+    return run_location_experiment(to_scenario(config));
+}
+
+LocationResult run_location_experiment(const Scenario& scenario) {
+    const LocationWorkload& wl = scenario.location;
+    const double field = scenario.deployment.field;
+    const double sensing_radius = scenario.deployment.sensing_radius;
+    const std::size_t n_nodes = wl.n_nodes;
+
+    sim::Simulator simulator;
+    util::Rng root(scenario.seed);
+
+    obs::Recorder* rec = scenario.recorder;
     if (rec) {
         obs::preregister_standard_metrics(rec->metrics());
         rec->set_clock([&simulator] { return simulator.now(); });
     }
 
-    net::ChannelParams chan_params;
-    chan_params.drop_probability = config.channel_drop;
-    chan_params.airtime = config.channel_airtime;
-    net::Channel channel(simulator, root.stream("channel"), chan_params);
+    net::Channel channel(simulator, root.stream("channel"), scenario.channel);
     channel.set_recorder(rec);
 
-    core::TrustParams trust;
-    trust.lambda = config.lambda;
-    trust.fault_rate = config.fault_rate;
-    trust.removal_ti = config.removal_ti;
+    std::optional<inject::Campaign> campaign;
+    if (scenario.campaign.enabled()) {
+        campaign.emplace(scenario.campaign, simulator, root.stream("inject"));
+        campaign->set_recorder(rec);
+        campaign->arm_channel(channel);
+    }
 
-    sensor::FaultParams faults;
-    faults.natural_error_rate = 0.0;  // location-model NER comes from sigma + channel
-    faults.correct_sigma = config.correct_sigma;
-    faults.faulty_sigma = config.faulty_sigma;
-    faults.faulty_drop_rate = config.faulty_drop_rate;
-    faults.false_alarm_rate = config.false_alarm_rate;
-    faults.lower_ti = config.lower_ti;
-    faults.upper_ti = config.upper_ti;
-    faults.collusion_jitter = config.collusion_jitter;
+    const core::TrustParams trust = scenario.effective_trust();
+    sensor::FaultParams faults = scenario.faults;  // mutable: fault-rate shifts
 
     auto collusion = std::make_shared<sensor::CollusionChannel>(
         root.stream("collusion"), faults, /*binary_mode=*/false);
 
     // ---- Node placement ----
-    std::vector<util::Vec2> positions(config.n_nodes);
-    if (config.grid_layout) {
+    std::vector<util::Vec2> positions(n_nodes);
+    if (wl.grid_layout) {
         const auto side = static_cast<std::size_t>(
-            std::llround(std::sqrt(static_cast<double>(config.n_nodes))));
-        const double spacing = config.field / static_cast<double>(side);
-        for (std::size_t i = 0; i < config.n_nodes; ++i) {
+            std::llround(std::sqrt(static_cast<double>(n_nodes))));
+        const double spacing = field / static_cast<double>(side);
+        for (std::size_t i = 0; i < n_nodes; ++i) {
             const std::size_t gx = i % side;
             const std::size_t gy = i / side;
             positions[i] = {spacing * (0.5 + static_cast<double>(gx)),
@@ -92,13 +145,14 @@ LocationResult run_location_experiment(const LocationConfig& config) {
         }
     } else {
         util::Rng placement = root.stream("placement");
-        for (auto& p : positions) p = placement.point_in_rect(config.field, config.field);
+        for (auto& p : positions) p = placement.point_in_rect(field, field);
     }
 
     // ---- Compromise order ----
     // A fixed random permutation decides which nodes are (or become) faulty;
-    // the decay schedule extends the compromised prefix over time.
-    std::vector<std::size_t> compromise_order(config.n_nodes);
+    // the decay schedule — and any campaign compromise onsets — extend the
+    // compromised prefix over time.
+    std::vector<std::size_t> compromise_order(n_nodes);
     std::iota(compromise_order.begin(), compromise_order.end(), 0);
     {
         util::Rng pick = root.stream("select");
@@ -106,45 +160,40 @@ LocationResult run_location_experiment(const LocationConfig& config) {
             std::swap(compromise_order[i - 1], compromise_order[pick.uniform_index(i)]);
         }
     }
-    const double initial_pct = config.decay ? config.decay_initial : config.pct_faulty;
+    const double initial_pct = wl.decay ? wl.decay_initial : wl.pct_faulty;
     const auto initially_faulty = static_cast<std::size_t>(
-        initial_pct * static_cast<double>(config.n_nodes) + 0.5);
-    std::vector<bool> faulty(config.n_nodes, false);
-    for (std::size_t i = 0; i < initially_faulty && i < config.n_nodes; ++i) {
+        initial_pct * static_cast<double>(n_nodes) + 0.5);
+    std::vector<bool> faulty(n_nodes, false);
+    for (std::size_t i = 0; i < initially_faulty && i < n_nodes; ++i) {
         faulty[compromise_order[i]] = true;
     }
 
     // ---- Nodes ----
-    const double sensor_range = config.multihop ? config.radio_range : kRange;
+    const double sensor_range = wl.multihop ? wl.radio_range : kRange;
     std::vector<std::unique_ptr<sensor::SensorNode>> nodes;
-    nodes.reserve(config.n_nodes);
-    for (std::size_t i = 0; i < config.n_nodes; ++i) {
-        const auto cls = faulty[i] ? config.fault_level : sensor::NodeClass::Correct;
+    nodes.reserve(n_nodes);
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+        const auto cls = faulty[i] ? wl.fault_level : sensor::NodeClass::Correct;
         auto node = std::make_unique<sensor::SensorNode>(
-            simulator, static_cast<sim::ProcessId>(i), positions[i], config.sensing_radius,
+            simulator, static_cast<sim::ProcessId>(i), positions[i], sensing_radius,
             net::Radio(channel, static_cast<sim::ProcessId>(i)),
             make_behavior(cls, faults, collusion), root.stream("node", i), trust);
         node->set_binary_mode(false);
-        node->set_tx_jitter(config.tx_jitter);
+        node->set_tx_jitter(wl.tx_jitter);
         channel.attach(*node, positions[i], sensor_range);
         nodes.push_back(std::move(node));
     }
 
     // ---- Cluster heads + base station ----
-    core::EngineConfig engine_cfg;
-    engine_cfg.policy = config.policy;
-    engine_cfg.sensing_radius = config.sensing_radius;
-    engine_cfg.r_error = config.r_error;
-    engine_cfg.t_out = config.t_out;
+    core::EngineConfig engine_cfg = scenario.engine;
+    engine_cfg.sensing_radius = sensing_radius;
     engine_cfg.trust = trust;
-    engine_cfg.collusion_defense = config.collusion_defense;
-    engine_cfg.trust_weighted_location = config.trust_weighted_location;
 
-    const auto bs_id = static_cast<sim::ProcessId>(config.n_nodes + config.n_ch);
+    const auto bs_id = static_cast<sim::ProcessId>(n_nodes + wl.n_ch);
     std::vector<std::unique_ptr<cluster::ClusterHead>> heads;
     std::vector<cluster::DecisionRecord> decisions;
-    for (std::size_t c = 0; c < config.n_ch; ++c) {
-        const auto id = static_cast<sim::ProcessId>(config.n_nodes + c);
+    for (std::size_t c = 0; c < wl.n_ch; ++c) {
+        const auto id = static_cast<sim::ProcessId>(n_nodes + c);
         auto head = std::make_unique<cluster::ClusterHead>(simulator, id,
                                                            net::Radio(channel, id), engine_cfg);
         head->set_recorder(rec);
@@ -156,15 +205,14 @@ LocationResult run_location_experiment(const LocationConfig& config) {
             [&decisions](const cluster::DecisionRecord& r) { decisions.push_back(r); });
         // CHs sit near the field centre, spread slightly so they are
         // distinct radio endpoints.
-        const util::Vec2 pos{config.field / 2.0 + 2.0 * static_cast<double>(c),
-                             config.field / 2.0};
+        const util::Vec2 pos{field / 2.0 + 2.0 * static_cast<double>(c), field / 2.0};
         channel.attach(*head, pos, kRange);
         channel.set_drop_probability(id, 0.0);  // CH control traffic is reliable
         heads.push_back(std::move(head));
     }
 
     cluster::BaseStation station(simulator, bs_id, net::Radio(channel, bs_id), trust);
-    channel.attach(station, {config.field / 2.0, config.field + 20.0}, kRange);
+    channel.attach(station, {field / 2.0, field + 20.0}, kRange);
     channel.set_drop_probability(bs_id, 0.0);
 
     for (auto& n : nodes) n->set_cluster_head(heads.front()->id());
@@ -172,9 +220,9 @@ LocationResult run_location_experiment(const LocationConfig& config) {
     // ---- Multi-hop relay fabric (Section 3.4 extension) ----
     // Sensors route reports toward the CHs through each other; CHs unwrap.
     net::RoutingTable routes;
-    if (config.multihop) {
+    if (wl.multihop) {
         std::vector<net::RouterEntry> entries;
-        for (std::size_t i = 0; i < config.n_nodes; ++i) {
+        for (std::size_t i = 0; i < n_nodes; ++i) {
             entries.push_back({static_cast<sim::ProcessId>(i), positions[i], sensor_range});
         }
         for (auto& h : heads) {
@@ -182,31 +230,28 @@ LocationResult run_location_experiment(const LocationConfig& config) {
         }
         routes.rebuild(std::move(entries));
         for (auto& n : nodes) {
-            n->enable_relay(&routes);
+            n->enable_relay(&routes, scenario.transport);
             if (auto* t = n->transport()) t->set_recorder(rec);
         }
-        for (auto& h : heads) h->enable_relay(&routes);
+        for (auto& h : heads) h->enable_relay(&routes, scenario.transport);
     }
 
     // ---- Mobility (Section 2 extension) ----
-    sensor::MobilityParams mob_params;
-    mob_params.speed_min = config.speed_min;
-    mob_params.speed_max = config.speed_max;
-    mob_params.tick = config.mobility_tick;
-    mob_params.field_w = config.field;
-    mob_params.field_h = config.field;
+    sensor::MobilityParams mob_params = scenario.mobility;
+    mob_params.field_w = field;
+    mob_params.field_h = field;
     sensor::MobilityManager mobility(simulator, root.stream("mobility"), mob_params);
-    if (config.mobile) {
+    if (wl.mobile) {
         for (auto& n : nodes) mobility.manage(*n, channel);
         mobility.on_tick([&] {
             // The CHs re-estimate node positions (Section 2's requirement
             // for mobile operation); relay routes are rebuilt when in use.
-            std::vector<util::Vec2> current(config.n_nodes);
-            for (std::size_t i = 0; i < config.n_nodes; ++i) current[i] = nodes[i]->position();
+            std::vector<util::Vec2> current(n_nodes);
+            for (std::size_t i = 0; i < n_nodes; ++i) current[i] = nodes[i]->position();
             for (auto& h : heads) h->set_topology(current);
-            if (config.multihop) {
+            if (wl.multihop) {
                 std::vector<net::RouterEntry> entries;
-                for (std::size_t i = 0; i < config.n_nodes; ++i) {
+                for (std::size_t i = 0; i < n_nodes; ++i) {
                     entries.push_back(
                         {static_cast<sim::ProcessId>(i), current[i], sensor_range});
                 }
@@ -219,8 +264,7 @@ LocationResult run_location_experiment(const LocationConfig& config) {
     }
 
     // ---- Event schedule ----
-    sensor::EventGenerator generator(simulator, root.stream("events"), config.field,
-                                     config.field);
+    sensor::EventGenerator generator(simulator, root.stream("events"), field, field);
     {
         std::vector<sensor::SensorNode*> raw;
         raw.reserve(nodes.size());
@@ -238,34 +282,34 @@ LocationResult run_location_experiment(const LocationConfig& config) {
         });
     }
 
-    std::size_t total_events = config.events;
-    if (config.decay) {
+    std::size_t total_events = wl.events;
+    if (wl.decay) {
         const auto epochs = static_cast<std::size_t>(
-            std::llround((config.decay_final - config.decay_initial) / config.decay_step)) + 1;
-        total_events = epochs * config.decay_epoch_events;
+            std::llround((wl.decay_final - wl.decay_initial) / wl.decay_step)) + 1;
+        total_events = epochs * wl.decay_epoch_events;
     }
     const double start = 5.0;
-    const std::size_t instants = (total_events + config.burst - 1) / config.burst;
-    generator.schedule_events(instants, config.event_interval, start, config.burst,
-                              config.burst > 1 ? config.r_error : 0.0);
-    if (config.false_alarm_rate > 0.0) {
-        generator.schedule_quiet_windows(instants, config.event_interval,
-                                         start + config.event_interval / 3.0,
-                                         config.event_interval / 3.0);
+    const std::size_t instants = (total_events + wl.burst - 1) / wl.burst;
+    generator.schedule_events(instants, wl.event_interval, start, wl.burst,
+                              wl.burst > 1 ? engine_cfg.r_error : 0.0);
+    if (faults.false_alarm_rate > 0.0) {
+        generator.schedule_quiet_windows(instants, wl.event_interval,
+                                         start + wl.event_interval / 3.0,
+                                         wl.event_interval / 3.0);
     }
 
     // ---- CH rotation schedule ----
     // Rotations happen between events, every rotation_period event instants.
-    const double rotation_gap = config.event_interval / 2.0;
+    const double rotation_gap = wl.event_interval / 2.0;
     std::size_t active_ch = 0;
     const std::size_t n_rotations =
-        config.rotation_period ? instants / config.rotation_period : 0;
+        wl.rotation_period ? instants / wl.rotation_period : 0;
     for (std::size_t r = 1; r <= n_rotations; ++r) {
         const double at = start +
-                          config.event_interval * static_cast<double>(r * config.rotation_period) -
+                          wl.event_interval * static_cast<double>(r * wl.rotation_period) -
                           rotation_gap;
         if (at <= start) continue;
-        simulator.schedule_at(at, [&heads, &nodes, &active_ch, n_ch = config.n_ch] {
+        simulator.schedule_at(at, [&heads, &nodes, &active_ch, n_ch = wl.n_ch] {
             heads[active_ch]->end_leadership();
             active_ch = (active_ch + 1) % n_ch;
             heads[active_ch]->set_active(true);
@@ -274,32 +318,54 @@ LocationResult run_location_experiment(const LocationConfig& config) {
         });
     }
 
+    // Raises the compromised fraction to `target_pct` by extending the
+    // prefix of compromise_order (decay epochs and campaign onsets share
+    // this mechanic).
+    auto raise_compromised = [&](double target_pct) {
+        const auto target = static_cast<std::size_t>(
+            target_pct * static_cast<double>(n_nodes) + 0.5);
+        for (std::size_t i = 0; i < target && i < n_nodes; ++i) {
+            const std::size_t idx = compromise_order[i];
+            if (faulty[idx]) continue;
+            faulty[idx] = true;
+            nodes[idx]->set_behavior(make_behavior(wl.fault_level, faults, collusion));
+        }
+    };
+
     // ---- Decay schedule (Experiment 3) ----
-    if (config.decay) {
-        const auto epochs = total_events / config.decay_epoch_events;
+    if (wl.decay) {
+        const auto epochs = total_events / wl.decay_epoch_events;
         for (std::size_t e = 1; e < epochs; ++e) {
             const double at = start +
-                              config.event_interval *
-                                  static_cast<double>(e * config.decay_epoch_events) -
+                              wl.event_interval *
+                                  static_cast<double>(e * wl.decay_epoch_events) -
                               rotation_gap / 2.0;
-            const double target_pct = config.decay_initial +
-                                      config.decay_step * static_cast<double>(e);
-            simulator.schedule_at(at, [&, target_pct] {
-                const auto target = static_cast<std::size_t>(
-                    target_pct * static_cast<double>(config.n_nodes) + 0.5);
-                for (std::size_t i = 0; i < target && i < config.n_nodes; ++i) {
-                    const std::size_t idx = compromise_order[i];
-                    if (faulty[idx]) continue;
-                    faulty[idx] = true;
-                    nodes[idx]->set_behavior(
-                        make_behavior(config.fault_level, faults, collusion));
-                }
+            const double target_pct = wl.decay_initial +
+                                      wl.decay_step * static_cast<double>(e);
+            simulator.schedule_at(at, [&raise_compromised, target_pct] {
+                raise_compromised(target_pct);
             });
         }
     }
 
-    if (config.mobile) {
-        mobility.start(start + config.event_interval * static_cast<double>(instants));
+    // ---- Campaign timeline (channel windows armed above) ----
+    if (campaign) {
+        campaign->on_compromise([&raise_compromised](const inject::CompromiseOnset& onset) {
+            raise_compromised(onset.target_pct);
+        });
+        campaign->on_fault_shift([&](const inject::FaultRateShift& shift) {
+            if (shift.missed_alarm_rate >= 0.0) faults.missed_alarm_rate = shift.missed_alarm_rate;
+            if (shift.false_alarm_rate >= 0.0) faults.false_alarm_rate = shift.false_alarm_rate;
+            for (std::size_t i = 0; i < n_nodes; ++i) {
+                if (!faulty[i]) continue;
+                nodes[i]->set_behavior(make_behavior(wl.fault_level, faults, collusion));
+            }
+        });
+        campaign->schedule();
+    }
+
+    if (wl.mobile) {
+        mobility.start(start + wl.event_interval * static_cast<double>(instants));
     }
 
     simulator.run();
@@ -307,7 +373,7 @@ LocationResult run_location_experiment(const LocationConfig& config) {
     // ---- Scoring ----
     LocationResult result;
     result.events = generator.history().size();
-    const double match_window = 3.0 * config.t_out + 1.0;
+    const double match_window = 3.0 * engine_cfg.t_out + 1.0;
 
     std::vector<bool> explained(decisions.size(), false);
     std::vector<bool> event_detected(result.events, false);
@@ -318,7 +384,7 @@ LocationResult run_location_experiment(const LocationConfig& config) {
             if (!dec.has_location) continue;
             const double dt = dec.time - ev.time;
             if (dt < 0.0 || dt > match_window) continue;
-            if (util::distance(dec.location, ev.location) > config.r_error) continue;
+            if (util::distance(dec.location, ev.location) > engine_cfg.r_error) continue;
             explained[d] = true;
             if (dec.event_declared) event_detected[e] = true;
         }
@@ -333,10 +399,10 @@ LocationResult run_location_experiment(const LocationConfig& config) {
                           : 0.0;
 
     // Per-epoch accuracy series (events are ordered by generation time).
-    if (config.epoch_events > 0) {
+    if (wl.epoch_events > 0) {
         std::size_t i = 0;
         while (i < event_detected.size()) {
-            const std::size_t end = std::min(i + config.epoch_events, event_detected.size());
+            const std::size_t end = std::min(i + wl.epoch_events, event_detected.size());
             std::size_t hits = 0;
             for (std::size_t j = i; j < end; ++j) hits += event_detected[j] ? 1 : 0;
             result.epoch_accuracy.push_back(static_cast<double>(hits) /
@@ -350,7 +416,7 @@ LocationResult run_location_experiment(const LocationConfig& config) {
     result.isolated = tm.isolated_nodes().size();
     double sum_c = 0.0, sum_f = 0.0;
     std::size_t n_c = 0, n_f = 0;
-    for (std::size_t i = 0; i < config.n_nodes; ++i) {
+    for (std::size_t i = 0; i < n_nodes; ++i) {
         const double ti = tm.ti(static_cast<core::NodeId>(i));
         if (faulty[i]) {
             sum_f += ti;
@@ -363,7 +429,7 @@ LocationResult run_location_experiment(const LocationConfig& config) {
     result.mean_ti_correct = n_c ? sum_c / static_cast<double>(n_c) : 1.0;
     result.mean_ti_faulty = n_f ? sum_f / static_cast<double>(n_f) : 1.0;
 
-    if (config.keep_trace) {
+    if (wl.keep_trace) {
         result.trace_events = generator.history();
         result.trace_decisions = std::move(decisions);
     }
@@ -384,6 +450,14 @@ LocationResult run_location_experiment(const LocationConfig& config) {
             .set(n_all ? (sum_c + sum_f) / static_cast<double>(n_all) : 1.0);
         reg.gauge(obs::metric::kExpMeanTiCorrect).set(result.mean_ti_correct);
         reg.gauge(obs::metric::kExpMeanTiFaulty).set(result.mean_ti_faulty);
+        if (campaign) {
+            std::size_t degraded = 0;
+            const auto& log = wl.keep_trace ? result.trace_decisions : decisions;
+            for (const auto& d : log) {
+                degraded += scenario.campaign.degraded_at(d.time) ? 1 : 0;
+            }
+            reg.counter(obs::metric::kInjectDecisionsDegraded).inc(degraded);
+        }
         // The simulator dies with this frame; leave no dangling clock.
         rec->set_clock({});
     }

@@ -16,6 +16,7 @@
 
 #include "cluster/cluster_head.h"
 #include "core/binary_arbiter.h"
+#include "exp/scenario.h"
 #include "sensor/event_generator.h"
 #include "sensor/fault_model.h"
 
@@ -26,6 +27,8 @@ class Recorder;
 namespace tibfit::exp {
 
 /// Full parameter set of one location run (Table 2 defaults).
+/// Superseded by exp::Scenario (Kind::Location): this flat struct remains
+/// as a thin shim for one release — to_scenario() maps every field.
 struct LocationConfig {
     std::size_t n_nodes = 100;
     double field = 100.0;
@@ -125,7 +128,19 @@ struct LocationResult {
     std::vector<cluster::DecisionRecord> trace_decisions;
 };
 
-/// Runs one complete location simulation.
+/// Runs one complete location simulation, including any fault-injection
+/// campaign the scenario carries (channel degradation windows, compromise
+/// onsets, behaviour shifts; CH failover is binary-kind only — location
+/// runs already rotate leadership). The scenario's `kind` is ignored —
+/// this entry point always runs the location workload.
+LocationResult run_location_experiment(const Scenario& scenario);
+
+/// The exact Scenario the legacy flat config describes (single source of
+/// the field mapping; the deprecated shim goes through it).
+Scenario to_scenario(const LocationConfig& config);
+
+/// Legacy entry point.
+[[deprecated("build an exp::Scenario (see to_scenario) and call the Scenario overload")]]
 LocationResult run_location_experiment(const LocationConfig& config);
 
 }  // namespace tibfit::exp

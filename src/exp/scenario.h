@@ -1,0 +1,170 @@
+// exp::Scenario — the one aggregate describing a complete experiment.
+//
+// Historically every run was configured through a flat per-experiment
+// struct (BinaryConfig, LocationConfig) that re-declared copies of the
+// layer tunables (trust lambda, channel drop, t_out, ...). Scenario owns
+// the layer structs themselves — core::EngineConfig (with TrustParams),
+// net::ChannelParams/TransportParams, cluster::DeploymentConfig,
+// sensor::FaultParams/MobilityParams, inject::CampaignSpec — plus the two
+// small workload blocks that are genuinely experiment-shaped. One seed,
+// one validate(), one JSON round-trip; the old configs remain as thin
+// [[deprecated]] shims for one release. See docs/OBSERVABILITY.md
+// (artifact schema) and docs/FAULT_INJECTION.md (campaign wiring).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/deployment.h"
+#include "core/decision_engine.h"
+#include "inject/campaign.h"
+#include "net/channel.h"
+#include "net/transport.h"
+#include "sensor/fault_model.h"
+#include "sensor/mobility.h"
+
+namespace tibfit::obs {
+class Recorder;
+namespace json {
+class Value;
+class Writer;
+}  // namespace json
+}  // namespace tibfit::obs
+
+namespace tibfit::exp {
+
+/// Experiment-1 workload shape (binary event model, Section 4.1).
+struct BinaryWorkload {
+    std::size_t n_nodes = 10;
+    double pct_faulty = 0.4;
+    /// Temporal spread of false alarms within a quiet window, in units of
+    /// t_out (see the old BinaryConfig for the Figure-3 rationale).
+    double false_alarm_spread_touts = 2.0;
+    std::size_t events = 100;
+    double event_interval = 10.0;
+    bool use_shadows = false;  ///< Section 3.4 shadow CHs + base station
+    bool corrupt_ch = false;   ///< CH announces inverted decisions
+    /// Route reports over the ack/retry relay transport even in the
+    /// single-hop cluster, so injected channel loss degrades gracefully
+    /// (retransmission) instead of silently deleting correct reports.
+    bool reliable_reports = false;
+};
+
+/// Experiment-2/3 workload shape (location model, Sections 4.2-4.3).
+struct LocationWorkload {
+    std::size_t n_nodes = 100;
+    bool grid_layout = true;
+    double pct_faulty = 0.1;
+    sensor::NodeClass fault_level = sensor::NodeClass::Level0;
+    bool multihop = false;
+    double radio_range = 30.0;
+    bool mobile = false;
+    std::size_t n_ch = 5;
+    std::size_t rotation_period = 20;
+    std::size_t events = 200;
+    double event_interval = 10.0;
+    std::size_t burst = 1;
+    double tx_jitter = 0.0;
+    // Experiment 3 decay schedule (pct_faulty ignored when decay is on).
+    bool decay = false;
+    double decay_initial = 0.05;
+    double decay_step = 0.05;
+    double decay_final = 0.75;
+    std::size_t decay_epoch_events = 50;
+    std::size_t epoch_events = 50;  ///< accuracy-vs-time series granularity
+    bool keep_trace = false;
+};
+
+/// The complete description of one experiment run.
+struct Scenario {
+    enum class Kind { Binary, Location };
+
+    Kind kind = Kind::Binary;
+    std::uint64_t seed = 1;
+
+    /// Protocol tunables: policy, t_out, r_error, sensing radius, trust
+    /// (lambda / f_r / removal_ti), collusion defense, weighted location.
+    /// For binary scenarios trust.fault_rate < 0 means "equal to the NER"
+    /// (faults.natural_error_rate), matching Table 1.
+    core::EngineConfig engine;
+    net::ChannelParams channel;
+    net::TransportParams transport;  ///< relay/ack tunables (reliable paths)
+    /// Field geometry plus the LEACH/energy knobs of self-organizing
+    /// deployments. The runners use field/sensing_radius directly; the
+    /// embedded engine/channel_drop copies are overridden by the members
+    /// above when a Deployment is materialised (deployment_config()).
+    cluster::DeploymentConfig deployment;
+    sensor::FaultParams faults;
+    sensor::MobilityParams mobility;
+    inject::CampaignSpec campaign;
+
+    BinaryWorkload binary;
+    LocationWorkload location;
+
+    /// Optional observability attachment (non-owning; may be nullptr).
+    /// Instrumentation never touches the RNG, so results are bit-identical
+    /// with or without it. Not serialized.
+    obs::Recorder* recorder = nullptr;
+    /// Copies the CH decision log into the result (binary runs). Not
+    /// serialized.
+    bool keep_decisions = false;
+
+    /// Paper-faithful starting points (Table 1 / Table 2 defaults).
+    static Scenario binary_defaults();
+    static Scenario location_defaults();
+
+    // Fluent builder: each setter returns *this so scenarios compose in
+    // one expression. Only the knobs benches actually sweep get setters;
+    // anything else is reachable through the public members.
+    Scenario& with_seed(std::uint64_t s) { seed = s; return *this; }
+    Scenario& with_policy(core::DecisionPolicy p) { engine.policy = p; return *this; }
+    Scenario& with_lambda(double lambda) { engine.trust.lambda = lambda; return *this; }
+    Scenario& with_fault_rate(double fr) { engine.trust.fault_rate = fr; return *this; }
+    Scenario& with_removal_ti(double ti) { engine.trust.removal_ti = ti; return *this; }
+    Scenario& with_t_out(double t) { engine.t_out = t; return *this; }
+    Scenario& with_channel_drop(double p) { channel.drop_probability = p; return *this; }
+    Scenario& with_pct_faulty(double pct) {
+        binary.pct_faulty = pct;
+        location.pct_faulty = pct;
+        return *this;
+    }
+    Scenario& with_events(std::size_t n) {
+        binary.events = n;
+        location.events = n;
+        return *this;
+    }
+    Scenario& with_campaign(inject::CampaignSpec spec) {
+        campaign = std::move(spec);
+        return *this;
+    }
+    Scenario& with_recorder(obs::Recorder* rec) { recorder = rec; return *this; }
+
+    /// The trust parameters a run actually uses: resolves the binary-kind
+    /// "fault_rate tracks NER" sentinel.
+    core::TrustParams effective_trust() const;
+
+    /// The DeploymentConfig a self-organizing run should materialise:
+    /// deployment with engine/channel_drop replaced by this scenario's
+    /// authoritative copies.
+    cluster::DeploymentConfig deployment_config() const;
+
+    /// Structural consistency check; one message per defect, empty ==
+    /// valid. Includes campaign.validate().
+    std::vector<std::string> validate() const;
+};
+
+/// Serializes everything except the runtime attachments (recorder,
+/// keep_decisions) as one JSON object.
+void write_json(const Scenario& scenario, obs::json::Writer& w);
+
+/// Rebuilds a scenario from the write_json() shape; missing keys keep the
+/// kind's defaults. Throws std::runtime_error on a non-object or an
+/// unknown kind/policy/fault_level name.
+Scenario scenario_from_json(const obs::json::Value& v);
+
+/// Convenience: full JSON text round-trip.
+std::string to_json(const Scenario& scenario);
+Scenario scenario_from_json_text(const std::string& text);
+
+}  // namespace tibfit::exp

@@ -48,25 +48,23 @@ auto run_replications(const Config& config, std::size_t runs, Run run)
 
 }  // namespace
 
-double mean_binary_accuracy(BinaryConfig config, std::size_t runs) {
-    const auto results = run_replications(
-        config, runs, [](const BinaryConfig& c) { return run_binary_experiment(c); });
+double mean_accuracy(Scenario scenario, std::size_t runs) {
     double sum = 0.0;
-    for (const auto& r : results) sum += r.accuracy;
+    if (scenario.kind == Scenario::Kind::Binary) {
+        const auto results = run_replications(
+            scenario, runs, [](const Scenario& s) { return run_binary_experiment(s); });
+        for (const auto& r : results) sum += r.accuracy;
+    } else {
+        const auto results = run_replications(
+            scenario, runs, [](const Scenario& s) { return run_location_experiment(s); });
+        for (const auto& r : results) sum += r.accuracy;
+    }
     return runs ? sum / static_cast<double>(runs) : 0.0;
 }
 
-double mean_location_accuracy(LocationConfig config, std::size_t runs) {
+std::vector<double> mean_epoch_accuracy(Scenario scenario, std::size_t runs) {
     const auto results = run_replications(
-        config, runs, [](const LocationConfig& c) { return run_location_experiment(c); });
-    double sum = 0.0;
-    for (const auto& r : results) sum += r.accuracy;
-    return runs ? sum / static_cast<double>(runs) : 0.0;
-}
-
-std::vector<double> mean_epoch_accuracy(LocationConfig config, std::size_t runs) {
-    const auto results = run_replications(
-        config, runs, [](const LocationConfig& c) { return run_location_experiment(c); });
+        scenario, runs, [](const Scenario& s) { return run_location_experiment(s); });
     if (runs == 0) return {};
 
     std::size_t min_len = results.front().epoch_accuracy.size();
@@ -76,7 +74,7 @@ std::vector<double> mean_epoch_accuracy(LocationConfig config, std::size_t runs)
         max_len = std::max(max_len, r.epoch_accuracy.size());
     }
     if (min_len != max_len) {
-        // Identical configs normally produce identical epoch counts; a
+        // Identical scenarios normally produce identical epoch counts; a
         // shorter series means a run aborted early. Truncating is still the
         // only sound aggregation, but it must not happen silently — every
         // curve downstream loses its tail.
@@ -86,8 +84,8 @@ std::vector<double> mean_epoch_accuracy(LocationConfig config, std::size_t runs)
                          << " runs produced fewer epochs than the longest (" << min_len
                          << " vs " << max_len << "); truncating every curve to " << min_len
                          << " epochs";
-        if (config.recorder) {
-            config.recorder->metrics()
+        if (scenario.recorder) {
+            scenario.recorder->metrics()
                 .counter(obs::metric::kSweepTruncatedRuns)
                 .inc(truncated);
         }
@@ -101,6 +99,34 @@ std::vector<double> mean_epoch_accuracy(LocationConfig config, std::size_t runs)
     return sum;
 }
 
+std::vector<double> sweep(Scenario scenario, const std::vector<double>& xs,
+                          const std::function<void(Scenario&, double)>& set,
+                          std::size_t runs) {
+    std::vector<double> out;
+    out.reserve(xs.size());
+    for (double x : xs) {
+        Scenario s = scenario;
+        set(s, x);
+        out.push_back(mean_accuracy(s, runs));
+    }
+    return out;
+}
+
+// ---- Legacy shims (delegate through to_scenario; no deprecated calls
+// inside so the library itself builds warning-clean) ----
+
+double mean_binary_accuracy(BinaryConfig config, std::size_t runs) {
+    return mean_accuracy(to_scenario(config), runs);
+}
+
+double mean_location_accuracy(LocationConfig config, std::size_t runs) {
+    return mean_accuracy(to_scenario(config), runs);
+}
+
+std::vector<double> mean_epoch_accuracy(LocationConfig config, std::size_t runs) {
+    return mean_epoch_accuracy(to_scenario(config), runs);
+}
+
 std::vector<double> sweep_binary(BinaryConfig config, const std::vector<double>& xs,
                                  const std::function<void(BinaryConfig&, double)>& set,
                                  std::size_t runs) {
@@ -109,7 +135,7 @@ std::vector<double> sweep_binary(BinaryConfig config, const std::vector<double>&
     for (double x : xs) {
         BinaryConfig c = config;
         set(c, x);
-        out.push_back(mean_binary_accuracy(c, runs));
+        out.push_back(mean_accuracy(to_scenario(c), runs));
     }
     return out;
 }
@@ -122,7 +148,7 @@ std::vector<double> sweep_location(LocationConfig config, const std::vector<doub
     for (double x : xs) {
         LocationConfig c = config;
         set(c, x);
-        out.push_back(mean_location_accuracy(c, runs));
+        out.push_back(mean_accuracy(to_scenario(c), runs));
     }
     return out;
 }

@@ -4,10 +4,13 @@
 // Replications fan out across threads through par::run_trials — the
 // process-wide par::jobs() setting (bench/CLI flag --jobs, env
 // TIBFIT_JOBS) picks the width. Trial r always draws the seed
-// util::derive_trial_seed(config.seed, r) and results reduce in trial
+// util::derive_trial_seed(scenario.seed, r) and results reduce in trial
 // order, so every mean and series is bit-identical at any thread count;
 // an attached recorder receives the per-trial registries/traces merged in
 // trial order (docs/PARALLELISM.md).
+//
+// The drivers take an exp::Scenario and dispatch on its kind; the old
+// per-config entry points remain as [[deprecated]] shims for one release.
 #pragma once
 
 #include <cstdint>
@@ -16,28 +19,44 @@
 
 #include "exp/binary_experiment.h"
 #include "exp/location_experiment.h"
+#include "exp/scenario.h"
 
 namespace tibfit::exp {
 
-/// Mean accuracy of `runs` binary runs differing only in seed.
-double mean_binary_accuracy(BinaryConfig config, std::size_t runs);
+/// Mean accuracy of `runs` replications of `scenario` (binary or location
+/// by kind) differing only in seed.
+double mean_accuracy(Scenario scenario, std::size_t runs);
 
-/// Mean accuracy of `runs` location runs differing only in seed.
-double mean_location_accuracy(LocationConfig config, std::size_t runs);
-
-/// Mean per-epoch accuracy series over `runs` seeds. Series are truncated
-/// to the shortest run, which only differs if an experiment aborts — when
-/// that happens a warning is logged and, with a recorder attached, the
-/// exp.sweep.truncated_runs counter records how many runs fell short.
-std::vector<double> mean_epoch_accuracy(LocationConfig config, std::size_t runs);
+/// Mean per-epoch accuracy series over `runs` seeds (location kind).
+/// Series are truncated to the shortest run, which only differs if an
+/// experiment aborts — when that happens a warning is logged and, with a
+/// recorder attached, the exp.sweep.truncated_runs counter records how
+/// many runs fell short.
+std::vector<double> mean_epoch_accuracy(Scenario scenario, std::size_t runs);
 
 /// Sweep helper: applies `set` for each value in `xs` and records the mean
-/// binary accuracy.
+/// accuracy of the resulting scenario.
+std::vector<double> sweep(Scenario scenario, const std::vector<double>& xs,
+                          const std::function<void(Scenario&, double)>& set,
+                          std::size_t runs);
+
+// ---- Legacy per-config entry points (one-release shims) ----
+
+[[deprecated("use mean_accuracy(Scenario, runs)")]]
+double mean_binary_accuracy(BinaryConfig config, std::size_t runs);
+
+[[deprecated("use mean_accuracy(Scenario, runs)")]]
+double mean_location_accuracy(LocationConfig config, std::size_t runs);
+
+[[deprecated("use mean_epoch_accuracy(Scenario, runs)")]]
+std::vector<double> mean_epoch_accuracy(LocationConfig config, std::size_t runs);
+
+[[deprecated("use sweep(Scenario, xs, set, runs)")]]
 std::vector<double> sweep_binary(BinaryConfig config, const std::vector<double>& xs,
                                  const std::function<void(BinaryConfig&, double)>& set,
                                  std::size_t runs);
 
-/// Sweep helper for location experiments.
+[[deprecated("use sweep(Scenario, xs, set, runs)")]]
 std::vector<double> sweep_location(LocationConfig config, const std::vector<double>& xs,
                                    const std::function<void(LocationConfig&, double)>& set,
                                    std::size_t runs);

@@ -73,12 +73,57 @@ void Channel::snoop(const Packet& packet, const Endpoint& src) {
 void Channel::set_recorder(obs::Recorder* recorder) {
     recorder_ = recorder;
     c_delivered_ = c_dropped_ = c_out_of_range_ = c_collisions_ = nullptr;
+    c_injected_drops_ = c_injected_duplicates_ = nullptr;
+    c_injected_delays_ = c_injected_reorders_ = nullptr;
     if (!recorder_) return;
     auto& reg = recorder_->metrics();
     c_delivered_ = &reg.counter(obs::metric::kChannelDelivered);
     c_dropped_ = &reg.counter(obs::metric::kChannelDropped);
     c_out_of_range_ = &reg.counter(obs::metric::kChannelOutOfRange);
     c_collisions_ = &reg.counter(obs::metric::kChannelCollisions);
+    resolve_injected_counters();
+}
+
+void Channel::set_fault_schedule(std::vector<ChannelFaultWindow> windows, util::Rng rng) {
+    fault_windows_ = std::move(windows);
+    fault_rng_ = rng;
+    resolve_injected_counters();
+}
+
+void Channel::resolve_injected_counters() {
+    // The injected_* metrics exist only in runs that armed a schedule:
+    // registering them unconditionally would change the artifact shape of
+    // every injection-free bench.
+    if (!recorder_ || fault_windows_.empty()) return;
+    auto& reg = recorder_->metrics();
+    c_injected_drops_ = &reg.counter(obs::metric::kInjectedDrops);
+    c_injected_duplicates_ = &reg.counter(obs::metric::kInjectedDuplicates);
+    c_injected_delays_ = &reg.counter(obs::metric::kInjectedDelays);
+    c_injected_reorders_ = &reg.counter(obs::metric::kInjectedReorders);
+}
+
+const ChannelFaultWindow* Channel::active_fault_window() const {
+    if (fault_windows_.empty()) return nullptr;
+    const double now = sim_->now();
+    for (const auto& w : fault_windows_) {
+        if (now >= w.start && now < w.end) return &w;
+    }
+    return nullptr;
+}
+
+double Channel::injected_extra_delay(const ChannelFaultWindow& w) {
+    double extra = 0.0;
+    if (w.delay_jitter > 0.0) {
+        extra += fault_rng_.uniform(0.0, w.delay_jitter);
+        ++injected_delays_;
+        if (c_injected_delays_) c_injected_delays_->inc();
+    }
+    if (w.reorder_probability > 0.0 && fault_rng_.chance(w.reorder_probability)) {
+        extra += w.reorder_hold;
+        ++injected_reorders_;
+        if (c_injected_reorders_) c_injected_reorders_->inc();
+    }
+    return extra;
 }
 
 void Channel::note_drop(const Packet& packet, obs::DropReason reason) {
@@ -95,8 +140,8 @@ double Channel::sender_drop_probability(const Endpoint& sender) const {
     return sender.drop_override >= 0.0 ? sender.drop_override : params_.drop_probability;
 }
 
-void Channel::deliver(Endpoint& to, Packet packet, double dist) {
-    const double delay = params_.base_latency + dist / params_.propagation_speed;
+void Channel::deliver(Endpoint& to, Packet packet, double dist, double extra_delay) {
+    const double delay = params_.base_latency + dist / params_.propagation_speed + extra_delay;
     packet.rssi = 1.0 / (1.0 + dist * dist);
     sim::Process* process = to.process;
 
@@ -172,6 +217,27 @@ bool Channel::unicast(Packet packet) {
         note_drop(packet, obs::DropReason::Natural);
         return false;
     }
+    // Injected faults stack after the natural model, drawing only from the
+    // dedicated fault stream. Per delivery the draw order is: drop coin,
+    // delay extras (jitter then reorder), duplicate coin.
+    if (const ChannelFaultWindow* w = active_fault_window()) {
+        if (w->extra_drop > 0.0 && fault_rng_.chance(w->extra_drop)) {
+            ++injected_drops_;
+            if (c_injected_drops_) c_injected_drops_->inc();
+            note_drop(packet, obs::DropReason::Injected);
+            return false;
+        }
+        const double extra = injected_extra_delay(*w);
+        const bool duplicate =
+            w->duplicate_probability > 0.0 && fault_rng_.chance(w->duplicate_probability);
+        if (duplicate) {
+            ++injected_duplicates_;
+            if (c_injected_duplicates_) c_injected_duplicates_->inc();
+            deliver(dst_it->second, packet, dist, injected_extra_delay(*w));
+        }
+        deliver(dst_it->second, std::move(packet), dist, extra);
+        return true;
+    }
     deliver(dst_it->second, std::move(packet), dist);
     return true;
 }
@@ -196,6 +262,25 @@ std::size_t Channel::broadcast(Packet packet) {
             ++dropped_;
             if (c_dropped_) c_dropped_->inc();
             note_drop(packet, obs::DropReason::Natural);
+            continue;
+        }
+        // Same injection stack as unicast, with independent coins per
+        // receiver (broadcast receptions fail independently).
+        if (const ChannelFaultWindow* w = active_fault_window()) {
+            if (w->extra_drop > 0.0 && fault_rng_.chance(w->extra_drop)) {
+                ++injected_drops_;
+                if (c_injected_drops_) c_injected_drops_->inc();
+                note_drop(packet, obs::DropReason::Injected);
+                continue;
+            }
+            const double extra = injected_extra_delay(*w);
+            if (w->duplicate_probability > 0.0 && fault_rng_.chance(w->duplicate_probability)) {
+                ++injected_duplicates_;
+                if (c_injected_duplicates_) c_injected_duplicates_->inc();
+                deliver(ep, packet, dist, injected_extra_delay(*w));
+            }
+            deliver(ep, packet, dist, extra);
+            ++n;
             continue;
         }
         deliver(ep, packet, dist);

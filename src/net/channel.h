@@ -34,6 +34,21 @@ struct ChannelParams {
     double airtime = 0.0;
 };
 
+/// One timed window of injected channel misbehaviour (fault-injection
+/// campaigns, inject::CampaignSpec). Active while start <= now < end; all
+/// probabilities stack on top of the natural channel model. Injection coins
+/// are drawn from a dedicated stream installed by set_fault_schedule, so an
+/// armed-but-idle (or absent) schedule never perturbs the natural stream.
+struct ChannelFaultWindow {
+    double start = 0.0;
+    double end = 0.0;                  ///< exclusive; end <= start is an empty window
+    double extra_drop = 0.0;           ///< additional per-packet loss probability
+    double duplicate_probability = 0.0;///< chance a delivered packet arrives twice
+    double delay_jitter = 0.0;         ///< uniform [0, delay_jitter) added latency
+    double reorder_probability = 0.0;  ///< chance a packet is held back
+    double reorder_hold = 0.0;         ///< hold-back duration when reordered
+};
+
 /// Single shared medium; all attached processes hear broadcasts within
 /// their radio range of the sender.
 class Channel {
@@ -76,11 +91,22 @@ class Channel {
     /// number of deliveries scheduled.
     std::size_t broadcast(Packet packet);
 
+    /// Installs an injected-fault schedule. `rng` must be a dedicated
+    /// substream (never the stream natural loss draws from): injection
+    /// coins come only from it, and only while a window is active, so a run
+    /// with an empty schedule is byte-identical to one with no schedule at
+    /// all. Replaces any previous schedule; an empty vector disarms.
+    void set_fault_schedule(std::vector<ChannelFaultWindow> windows, util::Rng rng);
+
     // Telemetry.
     std::size_t delivered() const { return delivered_; }
     std::size_t dropped() const { return dropped_; }
     std::size_t out_of_range() const { return out_of_range_; }
     std::size_t collisions() const { return collisions_; }
+    std::size_t injected_drops() const { return injected_drops_; }
+    std::size_t injected_duplicates() const { return injected_duplicates_; }
+    std::size_t injected_delays() const { return injected_delays_; }
+    std::size_t injected_reorders() const { return injected_reorders_; }
 
     /// Mirrors the telemetry counters into `recorder` (nullptr detaches).
     /// With tracing enabled, drops of report-carrying packets also emit
@@ -105,9 +131,18 @@ class Channel {
     };
 
     double sender_drop_probability(const Endpoint& sender) const;
-    void deliver(Endpoint& to, Packet packet, double dist);
+    void deliver(Endpoint& to, Packet packet, double dist, double extra_delay = 0.0);
     void snoop(const Packet& packet, const Endpoint& src);
     void note_drop(const Packet& packet, obs::DropReason reason);
+
+    /// Fault window covering the current simulation time, or nullptr.
+    const ChannelFaultWindow* active_fault_window() const;
+    /// Draws the injected delay-jitter / reorder-hold extras for one
+    /// delivery under `w`. Consumes fault_rng_ only.
+    double injected_extra_delay(const ChannelFaultWindow& w);
+    /// Resolves the injected_* counters (only once a schedule exists, so
+    /// injection-free artifacts keep their historical shape).
+    void resolve_injected_counters();
 
     sim::Simulator* sim_;
     util::Rng rng_;
@@ -115,15 +150,25 @@ class Channel {
     std::unordered_map<sim::ProcessId, Endpoint> endpoints_;
     /// target -> monitors listening on it
     std::unordered_map<sim::ProcessId, std::vector<sim::ProcessId>> monitors_;
+    std::vector<ChannelFaultWindow> fault_windows_;
+    util::Rng fault_rng_{0};
     std::size_t delivered_ = 0;
     std::size_t dropped_ = 0;
     std::size_t out_of_range_ = 0;
     std::size_t collisions_ = 0;
+    std::size_t injected_drops_ = 0;
+    std::size_t injected_duplicates_ = 0;
+    std::size_t injected_delays_ = 0;
+    std::size_t injected_reorders_ = 0;
     obs::Recorder* recorder_ = nullptr;
     obs::Counter* c_delivered_ = nullptr;
     obs::Counter* c_dropped_ = nullptr;
     obs::Counter* c_out_of_range_ = nullptr;
     obs::Counter* c_collisions_ = nullptr;
+    obs::Counter* c_injected_drops_ = nullptr;
+    obs::Counter* c_injected_duplicates_ = nullptr;
+    obs::Counter* c_injected_delays_ = nullptr;
+    obs::Counter* c_injected_reorders_ = nullptr;
 };
 
 }  // namespace tibfit::net

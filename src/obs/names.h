@@ -42,6 +42,19 @@ inline constexpr const char* kTrustPenalties = "trust.penalties";
 inline constexpr const char* kTrustRewards = "trust.rewards";
 inline constexpr const char* kTrustTiSamples = "trust.ti_samples";
 
+// Fault injection (inject::Campaign + net::Channel fault schedules).
+// Deliberately NOT part of preregister_standard_metrics: these names only
+// appear in artifacts of runs that actually armed a campaign, keeping the
+// artifact shape of injection-free runs byte-identical to pre-injection
+// builds.
+inline constexpr const char* kInjectedDrops = "net.channel.injected_drops";
+inline constexpr const char* kInjectedDuplicates = "net.channel.injected_duplicates";
+inline constexpr const char* kInjectedDelays = "net.channel.injected_delays";
+inline constexpr const char* kInjectedReorders = "net.channel.injected_reorders";
+inline constexpr const char* kInjectFailovers = "inject.failovers";
+inline constexpr const char* kInjectFaultEvents = "inject.fault_events";
+inline constexpr const char* kInjectDecisionsDegraded = "inject.decisions_degraded";
+
 // exp::sweep trial aggregation
 inline constexpr const char* kSweepTruncatedRuns = "exp.sweep.truncated_runs";
 

@@ -20,6 +20,7 @@ struct TypeNameVisitor {
     const char* operator()(const WindowOpened&) const { return "window_opened"; }
     const char* operator()(const DecisionMade&) const { return "decision_made"; }
     const char* operator()(const TrustUpdated&) const { return "trust_updated"; }
+    const char* operator()(const ChFailed&) const { return "ch_failed"; }
 };
 
 struct FieldWriter {
@@ -64,12 +65,19 @@ struct FieldWriter {
         w.field("v", r.v);
         w.field("ti", r.ti);
     }
+    void operator()(const ChFailed& r) const {
+        w.field("old_ch", static_cast<std::uint64_t>(r.old_ch));
+        w.field("new_ch", static_cast<std::uint64_t>(r.new_ch));
+        w.field("warm", r.warm);
+        w.field("checkpointed_nodes", static_cast<std::uint64_t>(r.checkpointed_nodes));
+    }
 };
 
 DropReason parse_drop_reason(const std::string& s) {
     if (s == "natural") return DropReason::Natural;
     if (s == "out_of_range") return DropReason::OutOfRange;
     if (s == "collision") return DropReason::Collision;
+    if (s == "injected") return DropReason::Injected;
     throw std::runtime_error("trace: unknown drop reason '" + s + "'");
 }
 
@@ -125,6 +133,15 @@ TracePayload parse_payload(const std::string& type, const json::Value& v) {
         r.ti = v.number_or("ti", 0.0);
         return r;
     }
+    if (type == "ch_failed") {
+        ChFailed r;
+        r.old_ch = static_cast<std::uint32_t>(v.number_or("old_ch", 0));
+        r.new_ch = static_cast<std::uint32_t>(v.number_or("new_ch", 0));
+        r.warm = v.bool_or("warm", false);
+        r.checkpointed_nodes =
+            static_cast<std::uint32_t>(v.number_or("checkpointed_nodes", 0));
+        return r;
+    }
     throw std::runtime_error("trace: unknown record type '" + type + "'");
 }
 
@@ -139,6 +156,7 @@ const char* drop_reason_name(DropReason reason) {
         case DropReason::Natural: return "natural";
         case DropReason::OutOfRange: return "out_of_range";
         case DropReason::Collision: return "collision";
+        case DropReason::Injected: return "injected";
     }
     return "?";
 }

@@ -33,8 +33,10 @@ struct ReportReceived {
     bool has_location = false;  ///< location-model report
 };
 
-/// Why the channel killed a packet.
-enum class DropReason { Natural, OutOfRange, Collision };
+/// Why the channel killed a packet. `Injected` marks losses manufactured
+/// by a fault-injection campaign window (inject::CampaignSpec), so post-run
+/// analysis can split natural from injected loss.
+enum class DropReason { Natural, OutOfRange, Collision, Injected };
 
 /// The channel dropped a report-carrying packet (natural loss, out of
 /// radio range, or MAC collision).
@@ -75,8 +77,19 @@ struct TrustUpdated {
     double ti = 0.0;
 };
 
+/// A fault-injection campaign killed a cluster head and handed its role to
+/// a successor. `warm` records whether the successor restored the trust
+/// checkpoint (true) or started cold with a fresh table (false);
+/// `checkpointed_nodes` is the number of v accumulators that survived.
+struct ChFailed {
+    std::uint32_t old_ch = 0;
+    std::uint32_t new_ch = 0;
+    bool warm = false;
+    std::uint32_t checkpointed_nodes = 0;
+};
+
 using TracePayload = std::variant<EventInjected, ReportReceived, ReportDropped, WindowOpened,
-                                  DecisionMade, TrustUpdated>;
+                                  DecisionMade, TrustUpdated, ChFailed>;
 
 /// One trace entry: payload + simulation timestamp + append order.
 struct TraceRecord {

@@ -145,6 +145,27 @@ TEST_F(TransportTest, TtlBoundsForwarding) {
     EXPECT_GT(hosts_[1]->transport.gave_up() + hosts_[2]->transport.gave_up(), 0u);
 }
 
+TEST_F(TransportTest, RetryExhaustionUnderInjectedBlackout) {
+    build(0.0);
+    // Injected total blackout over [0, 5): every envelope AND ack is lost,
+    // so the sender burns its whole retry budget and gives up; a send
+    // scheduled after the window sails through untouched.
+    std::vector<ChannelFaultWindow> windows(1);
+    windows[0].start = 0.0;
+    windows[0].end = 5.0;
+    windows[0].extra_drop = 1.0;
+    channel_->set_fault_schedule(windows, util::Rng(77));
+    hosts_[0]->transport.send(1, report());
+    simulator_.schedule_at(6.0, [&] { hosts_[0]->transport.send(1, report(false)); });
+    simulator_.run();
+    EXPECT_EQ(hosts_[0]->transport.gave_up(), 1u);
+    EXPECT_EQ(hosts_[0]->transport.retransmissions(), TransportParams{}.max_retries);
+    EXPECT_EQ(hosts_[0]->transport.in_flight(), 0u);
+    EXPECT_GT(channel_->injected_drops(), 0u);
+    ASSERT_EQ(hosts_[1]->delivered.size(), 1u);  // only the post-window send
+    EXPECT_FALSE(hosts_[1]->delivered[0].report.positive);
+}
+
 TEST_F(TransportTest, SequencesDistinguishMessages) {
     build(0.0);
     hosts_[0]->transport.send(3, report(true));
