@@ -22,11 +22,14 @@
 // docs/PARALLELISM.md).
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "check/config.h"
 #include "exp/binary_experiment.h"
 #include "exp/location_experiment.h"
 #include "exp/sweep.h"
@@ -34,6 +37,7 @@
 #include "obs/recorder.h"
 #include "par/jobs.h"
 #include "util/config.h"
+#include "util/invariant.h"
 
 namespace {
 
@@ -51,6 +55,9 @@ void print_keys() {
         "          collusion_defense=true|false  multihop=true|false  radio_range\n"
         "          mobile=true|false  speed_min  speed_max\n"
         "decay:    decay_initial  decay_step  decay_final  epoch_events\n"
+        "checking: check=off|shadow|assert (differential oracle + invariants;\n"
+        "          see docs/CHECKING.md — shadow counts divergences, assert\n"
+        "          aborts on the first one; exit code 1 on any divergence)\n"
         "flags:    --metrics <path> (metrics summary)  --trace <path> (JSONL trace)\n"
         "          --jobs <n> (threads for runs>1 sweeps; env TIBFIT_JOBS;\n"
         "          results are identical at any value)\n");
@@ -69,7 +76,17 @@ sensor::NodeClass parse_level(long level) {
     }
 }
 
-int run_binary(const util::Config& args, obs::Recorder* rec) {
+/// Reports the self-check tallies after an instrumented run; the exit
+/// code turns nonzero on any oracle divergence so scripts can gate on it.
+int report_check(check::Mode mode, std::size_t checked, std::size_t divergences) {
+    if (mode == check::Mode::Off) return 0;
+    std::printf("check: mode=%s checked=%zu divergences=%zu invariant_violations=%llu\n",
+                check::mode_name(mode), checked, divergences,
+                static_cast<unsigned long long>(util::invariant_violations()));
+    return divergences ? 1 : 0;
+}
+
+int run_binary(const util::Config& args, obs::Recorder* rec, check::Mode check_mode) {
     exp::BinaryConfig c;
     c.recorder = rec;
     c.n_nodes = static_cast<std::size_t>(args.get_int("n_nodes", 10));
@@ -87,17 +104,18 @@ int run_binary(const util::Config& args, obs::Recorder* rec) {
     c.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
     const auto runs = static_cast<std::size_t>(args.get_int("runs", 1));
 
+    exp::Scenario s = exp::to_scenario(c);
+    s.check.mode = check_mode;
     if (runs > 1) {
-        std::printf("accuracy (mean of %zu runs): %.4f\n", runs,
-                    exp::mean_binary_accuracy(c, runs));
+        std::printf("accuracy (mean of %zu runs): %.4f\n", runs, exp::mean_accuracy(s, runs));
         return 0;
     }
-    const auto r = exp::run_binary_experiment(c);
+    const auto r = exp::run_binary_experiment(s);
     std::printf("accuracy=%.4f detection=%.4f events=%zu detected=%zu "
                 "phantom_windows=%zu phantoms_declared=%zu ti_correct=%.3f ti_faulty=%.3f\n",
                 r.accuracy, r.detection_rate, r.events, r.detected, r.false_alarm_windows,
                 r.phantoms_declared, r.mean_ti_correct, r.mean_ti_faulty);
-    return 0;
+    return report_check(check_mode, r.checked_decisions, r.oracle_divergences);
 }
 
 exp::LocationConfig location_config(const util::Config& args) {
@@ -136,18 +154,19 @@ exp::LocationConfig location_config(const util::Config& args) {
     return c;
 }
 
-int run_location(const util::Config& args, obs::Recorder* rec) {
+int run_location(const util::Config& args, obs::Recorder* rec, check::Mode check_mode) {
     exp::LocationConfig c = location_config(args);
     c.recorder = rec;
     const auto runs = static_cast<std::size_t>(args.get_int("runs", 1));
-    if (runs > 1) {
-        std::printf("accuracy (mean of %zu runs): %.4f\n", runs,
-                    exp::mean_location_accuracy(c, runs));
-        return 0;
-    }
     const std::string trace_path = args.get_string("trace", "");
     c.keep_trace = !trace_path.empty();
-    const auto r = run_location_experiment(c);
+    exp::Scenario s = exp::to_scenario(c);
+    s.check.mode = check_mode;
+    if (runs > 1) {
+        std::printf("accuracy (mean of %zu runs): %.4f\n", runs, exp::mean_accuracy(s, runs));
+        return 0;
+    }
+    const auto r = run_location_experiment(s);
     std::printf("accuracy=%.4f events=%zu detected=%zu false_positives=%zu isolated=%zu "
                 "ti_correct=%.3f ti_faulty=%.3f\n",
                 r.accuracy, r.events, r.detected, r.false_positives, r.isolated,
@@ -162,10 +181,10 @@ int run_location(const util::Config& args, obs::Recorder* rec) {
         std::printf("trace written to %s (%zu events, %zu decisions)\n", trace_path.c_str(),
                     r.trace_events.size(), r.trace_decisions.size());
     }
-    return 0;
+    return report_check(check_mode, r.checked_decisions, r.oracle_divergences);
 }
 
-int run_decay(const util::Config& args, obs::Recorder* rec) {
+int run_decay(const util::Config& args, obs::Recorder* rec, check::Mode check_mode) {
     exp::LocationConfig c = location_config(args);
     c.recorder = rec;
     c.decay = true;
@@ -173,7 +192,9 @@ int run_decay(const util::Config& args, obs::Recorder* rec) {
     c.decay_step = args.get_double("decay_step", 0.05);
     c.decay_final = args.get_double("decay_final", 0.75);
     c.decay_epoch_events = c.epoch_events;
-    const auto r = run_location_experiment(c);
+    exp::Scenario s = exp::to_scenario(c);
+    s.check.mode = check_mode;
+    const auto r = run_location_experiment(s);
     std::printf("epoch  %%compromised  accuracy\n");
     for (std::size_t e = 0; e < r.epoch_accuracy.size(); ++e) {
         std::printf("%4zu   %6.1f%%      %.4f\n", e + 1,
@@ -181,7 +202,7 @@ int run_decay(const util::Config& args, obs::Recorder* rec) {
                     r.epoch_accuracy[e]);
     }
     std::printf("overall accuracy=%.4f isolated=%zu\n", r.accuracy, r.isolated);
-    return 0;
+    return report_check(check_mode, r.checked_decisions, r.oracle_divergences);
 }
 
 }  // namespace
@@ -228,18 +249,33 @@ int main(int argc, char** argv) {
         recorder.trace().set_enabled(!trace_path.empty());
     }
 
+    check::Mode check_mode;
+    try {
+        check_mode = check::mode_from_name(args.get_string("check", "off"));
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s (check=off|shadow|assert)\n", e.what());
+        return 2;
+    }
+
     const std::string mode = args.get_string("mode", "location");
     int rc;
-    if (mode == "binary") {
-        rc = run_binary(args, rec);
-    } else if (mode == "decay") {
-        rc = run_decay(args, rec);
-    } else if (mode == "location") {
-        rc = run_location(args, rec);
-    } else {
-        std::fprintf(stderr, "unknown mode '%s' (binary|location|decay)\n", mode.c_str());
-        print_keys();
-        return 2;
+    try {
+        if (mode == "binary") {
+            rc = run_binary(args, rec, check_mode);
+        } else if (mode == "decay") {
+            rc = run_decay(args, rec, check_mode);
+        } else if (mode == "location") {
+            rc = run_location(args, rec, check_mode);
+        } else {
+            std::fprintf(stderr, "unknown mode '%s' (binary|location|decay)\n", mode.c_str());
+            print_keys();
+            return 2;
+        }
+    } catch (const std::logic_error& e) {
+        // check=assert aborts the run on the first divergence or
+        // invariant violation.
+        std::fprintf(stderr, "check failed: %s\n", e.what());
+        return 1;
     }
     if (rc != 0) return rc;
 

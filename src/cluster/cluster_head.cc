@@ -79,15 +79,14 @@ void ClusterHead::set_recorder(obs::Recorder* recorder) {
         h_latency_ = &obs::decision_latency_histogram(reg);
         h_margin_ = &obs::cti_margin_histogram(reg);
     }
-    engine_.trust().set_recorder(recorder_);
+    // The engine keeps the attachment and re-applies it on every
+    // adopt_trust, so CH rotations / failovers can't shed telemetry.
+    engine_.set_recorder(recorder_);
     if (transport_) transport_->set_recorder(recorder_);
 }
 
 void ClusterHead::begin_leadership(core::TrustManager table) {
     engine_.adopt_trust(std::move(table));
-    // The adopted table arrives detached; keep the instrumentation alive
-    // across CH rotations.
-    engine_.trust().set_recorder(recorder_);
     active_ = true;
 }
 
@@ -137,7 +136,6 @@ void ClusterHead::handle_packet(const net::Packet& packet) {
         core::TrustManager table(engine_.config().trust);
         table.import_v(transfer->v_values);
         engine_.adopt_trust(std::move(table));
-        engine_.trust().set_recorder(recorder_);
     }
 }
 

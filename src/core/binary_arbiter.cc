@@ -1,7 +1,11 @@
 #include "core/binary_arbiter.h"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 #include <unordered_set>
+
+#include "util/invariant.h"
 
 namespace tibfit::core {
 
@@ -28,6 +32,28 @@ BinaryDecision BinaryArbiter::decide(std::span<const NodeId> event_neighbours,
     std::sort(d.silent.begin(), d.silent.end());
 
     d.event_declared = d.weight_reporters >= d.weight_silent;
+
+    // CTI conservation: the two-way partition must cover every
+    // non-isolated event neighbour exactly once, and CTI(R) + CTI(NR)
+    // must equal the CTI of all eligible neighbours (tolerance only for
+    // the FP regrouping between one and two accumulators). Evaluated
+    // before trust updates mutate the TIs being summed.
+    if (util::invariant_checks_on()) {
+        double eligible_cti = 0.0;
+        std::size_t eligible = 0;
+        for (NodeId n : event_neighbours) {
+            if (stateful && trust_->is_isolated(n)) continue;
+            eligible_cti += stateful ? trust_->ti(n) : 1.0;
+            ++eligible;
+        }
+        TIBFIT_CHECK(d.reporters.size() + d.silent.size() == eligible,
+                     "partition covers " + std::to_string(d.reporters.size() + d.silent.size()) +
+                         " of " + std::to_string(eligible) + " eligible neighbours");
+        const double split = d.weight_reporters + d.weight_silent;
+        TIBFIT_CHECK(std::abs(split - eligible_cti) <= 1e-9 * std::max(1.0, eligible_cti),
+                     "CTI(R)+CTI(NR)=" + std::to_string(split) + " vs CTI(eligible)=" +
+                         std::to_string(eligible_cti));
+    }
 
     if (stateful && apply_trust_updates) {
         const auto& winners = d.event_declared ? d.reporters : d.silent;

@@ -1,0 +1,57 @@
+// Decision-checking hook interface.
+//
+// A DecisionChecker observes every decision a DecisionEngine makes,
+// together with the exact inputs the engine saw and the trust table state
+// *after* the decision's updates were applied. The production
+// implementation is check::ShadowArbiter — a paper-literal reference
+// stack run in lockstep with the optimised one (docs/CHECKING.md); the
+// interface lives in core so the engine does not depend on tibfit_check.
+//
+// All hooks fire after the engine's own state transition completed, so a
+// checker replays the same transition on its reference state and compares
+// results. With no checker attached (the default) the engine pays one
+// null-pointer test per decision.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/binary_arbiter.h"
+#include "core/location_arbiter.h"
+#include "core/report.h"
+#include "core/trust.h"
+
+namespace tibfit::core {
+
+class DecisionChecker {
+  public:
+    virtual ~DecisionChecker() = default;
+
+    /// One binary window was arbitrated. `decision` is what the engine
+    /// produced from (event_neighbours, reporters); `trust` reflects any
+    /// judgements it applied.
+    virtual void on_binary_decision(std::span<const NodeId> event_neighbours,
+                                    std::span<const NodeId> reporters,
+                                    bool apply_trust_updates, const BinaryDecision& decision,
+                                    const TrustManager& trust) = 0;
+
+    /// One report group was arbitrated through the location pipeline
+    /// (clustering + per-cluster CTI vote).
+    virtual void on_location_decisions(std::span<const EventReport> reports,
+                                       std::span<const util::Vec2> node_positions,
+                                       bool apply_trust_updates,
+                                       const std::vector<LocationDecision>& decisions,
+                                       const TrustManager& trust) = 0;
+
+    /// Out-of-band quarantines (collusion defense) were applied to every
+    /// node in `nodes`, in order.
+    virtual void on_quarantines(std::span<const NodeId> nodes, const TrustManager& trust) = 0;
+
+    /// The engine's trust table was replaced wholesale (CH rotation
+    /// adopting an archive, warm failover restoring a checkpoint, or the
+    /// checker being attached to a live engine). The checker resynchronises
+    /// its reference state from `trust`.
+    virtual void on_trust_adopted(const TrustManager& trust) = 0;
+};
+
+}  // namespace tibfit::core

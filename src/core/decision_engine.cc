@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/check_hooks.h"
+
 namespace tibfit::core {
 
 DecisionEngine::DecisionEngine(EngineConfig cfg)
@@ -14,16 +16,44 @@ DecisionEngine::DecisionEngine(EngineConfig cfg)
     location_.set_trust_weighted_location(cfg.trust_weighted_location);
 }
 
+void DecisionEngine::adopt_trust(TrustManager table) {
+    trust_ = std::move(table);
+    // The adopted table typically arrives detached (restored checkpoint,
+    // archive copy): keep telemetry flowing without every caller having to
+    // remember to re-attach.
+    trust_.set_recorder(recorder_);
+    if (checker_) checker_->on_trust_adopted(trust_);
+}
+
+void DecisionEngine::set_recorder(obs::Recorder* recorder) {
+    recorder_ = recorder;
+    trust_.set_recorder(recorder);
+    location_.set_recorder(recorder);
+}
+
+void DecisionEngine::set_checker(DecisionChecker* checker) {
+    checker_ = checker;
+    if (checker_) checker_->on_trust_adopted(trust_);
+}
+
 void DecisionEngine::run_collusion_defense(std::span<const EventReport> reports) {
     if (!cfg_.collusion_defense || cfg_.policy != DecisionPolicy::TrustIndex) return;
     const auto finding = collusion_.inspect(reports);
     CollusionDetector::penalize(finding, trust_);
+    if (checker_ && !finding.convicted.empty()) {
+        checker_->on_quarantines(finding.convicted, trust_);
+    }
 }
 
 BinaryDecision DecisionEngine::decide_binary(std::span<const NodeId> event_neighbours,
                                              std::span<const NodeId> reporters,
                                              bool apply_trust_updates) {
-    return binary_.decide(event_neighbours, reporters, apply_trust_updates);
+    BinaryDecision d = binary_.decide(event_neighbours, reporters, apply_trust_updates);
+    if (checker_) {
+        checker_->on_binary_decision(event_neighbours, reporters, apply_trust_updates, d,
+                                     trust_);
+    }
+    return d;
 }
 
 bool DecisionEngine::submit(const EventReport& report) {
@@ -43,6 +73,10 @@ std::vector<LocationDecision> DecisionEngine::collect(
         for (std::size_t idx : group) reports.push_back(pending_[idx]);
         if (apply_trust_updates) run_collusion_defense(reports);
         auto decisions = location_.decide(reports, node_positions, apply_trust_updates);
+        if (checker_) {
+            checker_->on_location_decisions(reports, node_positions, apply_trust_updates,
+                                            decisions, trust_);
+        }
         out.insert(out.end(), decisions.begin(), decisions.end());
     }
     // All windows drained: the buffer indices are no longer referenced.
@@ -54,7 +88,12 @@ std::vector<LocationDecision> DecisionEngine::decide_location(
     std::span<const EventReport> reports, std::span<const util::Vec2> node_positions,
     bool apply_trust_updates) {
     if (apply_trust_updates) run_collusion_defense(reports);
-    return location_.decide(reports, node_positions, apply_trust_updates);
+    auto decisions = location_.decide(reports, node_positions, apply_trust_updates);
+    if (checker_) {
+        checker_->on_location_decisions(reports, node_positions, apply_trust_updates,
+                                        decisions, trust_);
+    }
+    return decisions;
 }
 
 }  // namespace tibfit::core

@@ -15,7 +15,13 @@
 #include "core/report.h"
 #include "core/trust.h"
 
+namespace tibfit::obs {
+class Recorder;
+}  // namespace tibfit::obs
+
 namespace tibfit::core {
+
+class DecisionChecker;
 
 /// All protocol tunables in one place.
 struct EngineConfig {
@@ -45,8 +51,22 @@ class DecisionEngine {
     const TrustManager& trust() const { return trust_; }
 
     /// CH rotation support: replace the trust table (e.g. with the archive a
-    /// new CH fetched from the base station).
-    void adopt_trust(TrustManager table) { trust_ = std::move(table); }
+    /// new CH fetched from the base station). The engine's recorder (if
+    /// any) is re-attached to the adopted table so telemetry survives the
+    /// swap, and an attached checker resynchronises.
+    void adopt_trust(TrustManager table);
+
+    /// Attaches the observability recorder: trust-update telemetry plus
+    /// the clusterer's round-cap counter. nullptr detaches. Survives
+    /// adopt_trust.
+    void set_recorder(obs::Recorder* recorder);
+
+    /// Attaches a decision checker (see core/check_hooks.h) notified of
+    /// every decision, quarantine and trust adoption. The checker is
+    /// immediately synchronised to the current trust table. nullptr
+    /// detaches. The checker must outlive the engine or be detached first.
+    void set_checker(DecisionChecker* checker);
+    DecisionChecker* checker() const { return checker_; }
 
     /// CH rotation support: hand the trust table over (the engine keeps a
     /// copy; the base station owns the archive).
@@ -101,6 +121,8 @@ class DecisionEngine {
     ConcurrentEventManager windows_;
     CollusionDetector collusion_;
     std::vector<EventReport> pending_;
+    obs::Recorder* recorder_ = nullptr;
+    DecisionChecker* checker_ = nullptr;
 };
 
 }  // namespace tibfit::core

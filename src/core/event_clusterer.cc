@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/names.h"
+#include "obs/recorder.h"
 #include "util/geometry.h"
+#include "util/invariant.h"
+#include "util/log.h"
 
 namespace tibfit::core {
 
@@ -150,6 +154,7 @@ std::vector<EventCluster> EventClusterer::cluster(std::span<const util::Vec2> po
 
     // Step 5: merge-close-centres / reassign rounds until the constituency
     // stops changing (or the round cap is hit).
+    bool converged = false;
     for (std::size_t round = 0; round < max_rounds_; ++round) {
         const bool merged = merge_close_centres(cgs, sizes, r_error_);
         auto new_assign = assign_nearest(points, cgs);
@@ -158,7 +163,36 @@ std::vector<EventCluster> EventClusterer::cluster(std::span<const util::Vec2> po
         assign = std::move(new_assign);
         cgs = std::move(new_cgs);
         sizes = std::move(new_sizes);
-        if (stable) break;
+        if (stable) {
+            converged = true;
+            break;
+        }
+    }
+    if (!converged) {
+        util::log_warn() << "EventClusterer: refinement truncated at max_rounds=" << max_rounds_
+                         << " with " << points.size()
+                         << " points; constituency may not be a fixpoint";
+        if (recorder_) {
+            recorder_->metrics().counter(obs::metric::kClustererRoundCapHits).inc();
+        }
+    }
+
+    // Postconditions at a fixpoint: clusters partition the input by
+    // nearest centre (each member's own cg bounds its Voronoi disc) and
+    // no two surviving centres lie within r_error (step 5 would have
+    // merged them). Both only hold when the loop actually converged.
+    if (util::invariant_checks_on() && converged) {
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            TIBFIT_CHECK(assign[i] == util::nearest_index(cgs, points[i]),
+                         "point " + std::to_string(i) + " not assigned to its nearest centre");
+        }
+        for (std::size_t a = 0; a < cgs.size(); ++a) {
+            for (std::size_t b = a + 1; b < cgs.size(); ++b) {
+                TIBFIT_CHECK(util::distance2(cgs[a], cgs[b]) > r2,
+                             "surviving centres " + std::to_string(a) + " and " +
+                                 std::to_string(b) + " within r_error");
+            }
+        }
     }
 
     out.resize(cgs.size());

@@ -24,6 +24,10 @@
 
 #include "util/vec2.h"
 
+namespace tibfit::obs {
+class Recorder;
+}  // namespace tibfit::obs
+
 namespace tibfit::core {
 
 /// One event cluster: its centre of gravity and the indices (into the input
@@ -36,13 +40,25 @@ struct EventCluster {
 /// Deterministic implementation of the paper's clustering heuristic.
 class EventClusterer {
   public:
+    /// Default step-5 round bound — far beyond what any realistic input
+    /// needs (the differential oracle mirrors this value).
+    static constexpr std::size_t kDefaultMaxRounds = 64;
+
     /// `r_error` is the localization error bound (5 units in Experiment 2).
     /// `max_rounds` bounds the step-5 refinement loop; the heuristic is not
     /// guaranteed to reach a fixpoint in theory, so we stop after this many
-    /// rounds (far beyond what any realistic input needs).
-    explicit EventClusterer(double r_error, std::size_t max_rounds = 64);
+    /// rounds.
+    explicit EventClusterer(double r_error, std::size_t max_rounds = kDefaultMaxRounds);
 
     double r_error() const { return r_error_; }
+    std::size_t max_rounds() const { return max_rounds_; }
+
+    /// Hitting the round cap used to truncate silently; with a recorder
+    /// attached each truncation now increments
+    /// core.clusterer.round_cap_hits (lazily registered, mirroring the
+    /// exp.sweep.truncated_runs convention) and logs a warning either way.
+    /// nullptr detaches.
+    void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
 
     /// Groups `points` into event clusters. Empty input yields no clusters;
     /// a single point yields one singleton cluster. Every input point is a
@@ -52,6 +68,7 @@ class EventClusterer {
   private:
     double r_error_;
     std::size_t max_rounds_;
+    obs::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace tibfit::core

@@ -50,6 +50,10 @@ class LocationArbiter {
     DecisionPolicy policy() const { return policy_; }
     const EventClusterer& clusterer() const { return clusterer_; }
 
+    /// Forwards to the embedded clusterer (round-cap telemetry). nullptr
+    /// detaches.
+    void set_recorder(obs::Recorder* recorder) { clusterer_.set_recorder(recorder); }
+
     /// Decides every candidate event among `reports`.
     ///
     /// `node_positions` maps NodeId -> field position for every node of the

@@ -5,8 +5,28 @@
 
 #include "obs/names.h"
 #include "obs/recorder.h"
+#include "util/invariant.h"
 
 namespace tibfit::core {
+
+namespace {
+
+std::string cell_detail(NodeId node, double v, double ti) {
+    return "node " + std::to_string(node) + " v=" + std::to_string(v) +
+           " ti=" + std::to_string(ti);
+}
+
+}  // namespace
+
+std::vector<std::string> TrustParams::validate() const {
+    std::vector<std::string> errors;
+    if (lambda <= 0.0) errors.push_back("trust lambda must be > 0");
+    if (fault_rate > 1.0) errors.push_back("trust fault_rate > 1");
+    if (removal_ti < 0.0 || removal_ti >= 1.0) {
+        errors.push_back("removal_ti outside [0, 1)");
+    }
+    return errors;
+}
 
 double TrustIndex::ti(const TrustParams& p) const { return std::exp(-p.lambda * v_); }
 
@@ -37,6 +57,7 @@ void TrustManager::judge_correct(NodeId node) {
     c.v -= params_.fault_rate;
     if (c.v < 0.0) c.v = 0.0;
     c.ti = std::exp(-params_.lambda * c.v);
+    TIBFIT_CHECK(c.v >= 0.0 && c.ti > 0.0 && c.ti <= 1.0, cell_detail(node, c.v, c.ti));
     if (recorder_) note_update(node, /*penalty=*/false, c);
 }
 
@@ -45,6 +66,7 @@ void TrustManager::judge_faulty(NodeId node) {
     // Same arithmetic as TrustIndex::record_faulty.
     c.v += 1.0 - params_.fault_rate;
     c.ti = std::exp(-params_.lambda * c.v);
+    TIBFIT_CHECK(c.v >= 0.0 && c.ti > 0.0 && c.ti <= 1.0, cell_detail(node, c.v, c.ti));
     if (recorder_) note_update(node, /*penalty=*/true, c);
 }
 
@@ -81,16 +103,22 @@ double TrustManager::cumulative_ti(const std::vector<NodeId>& nodes) const {
 
 void TrustManager::quarantine(NodeId node) {
     // v needed for TI = removal_ti / 2 (or a strong fixed penalty when
-    // isolation is off).
+    // isolation is off). removal_ti is clamped to 1 so an out-of-range
+    // threshold (>= 2 made target_v <= 0, a silent no-op) still yields a
+    // positive target below any legal threshold; valid params in (0, 1)
+    // are arithmetically untouched by the clamp.
     double target_v = 10.0 / params_.lambda * 0.25;  // ~TI = e^{-2.5}
     if (params_.removal_ti > 0.0) {
-        target_v = -std::log(params_.removal_ti * 0.5) / params_.lambda;
+        const double capped = params_.removal_ti < 1.0 ? params_.removal_ti : 1.0;
+        target_v = -std::log(capped * 0.5) / params_.lambda;
     }
     Cell& c = touch(node);
     if (c.v < target_v) {
         c.v = target_v < 0.0 ? 0.0 : target_v;
         c.ti = std::exp(-params_.lambda * c.v);
     }
+    TIBFIT_CHECK(c.v > 0.0 && (params_.removal_ti <= 0.0 || is_isolated(node)),
+                 cell_detail(node, c.v, c.ti));
 }
 
 bool TrustManager::is_isolated(NodeId node) const {
@@ -139,9 +167,22 @@ TrustCheckpoint TrustManager::checkpoint() const {
     return TrustCheckpoint{params_, export_v()};
 }
 
-TrustManager TrustManager::restore(const TrustCheckpoint& snapshot) {
+TrustManager TrustManager::restore(const TrustCheckpoint& snapshot, obs::Recorder* recorder) {
     TrustManager t(snapshot.params);
     t.import_v(snapshot.v);
+    t.set_recorder(recorder);
+    // Round-trip losslessness: re-exporting must reproduce the snapshot
+    // exactly, modulo the documented negative-v clamp of the wire format.
+    if (util::invariant_checks_on()) {
+        const auto back = t.export_v();
+        bool ok = back.size() == snapshot.v.size();
+        for (std::size_t i = 0; ok && i < back.size(); ++i) {
+            const double want = snapshot.v[i].second < 0.0 ? 0.0 : snapshot.v[i].second;
+            ok = back[i].first == snapshot.v[i].first && back[i].second == want;
+        }
+        TIBFIT_CHECK(ok, "checkpoint/restore round-trip mismatch (" +
+                             std::to_string(snapshot.v.size()) + " entries)");
+    }
     return t;
 }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "core/report.h"
@@ -30,8 +31,14 @@ struct TrustParams {
     double fault_rate = 0.1;  ///< Granted natural error rate (paper's f_r).
     /// Nodes whose TI falls below this are diagnosed as faulty and isolated:
     /// they stop being counted as event neighbours (Section 3.1 "removed
-    /// from the network"). Set to 0 to disable isolation.
+    /// from the network"). Set to 0 to disable isolation. Must be in
+    /// [0, 1): TI never exceeds 1, so a threshold of 1 or more would
+    /// isolate every node (and used to make quarantine() a silent no-op).
     double removal_ti = 0.05;
+
+    /// Structural consistency check; one message per defect, empty ==
+    /// valid. exp::Scenario::validate() delegates here.
+    std::vector<std::string> validate() const;
 };
 
 /// Per-node trust accumulator. Only `v` is state; TI is derived.
@@ -142,9 +149,13 @@ class TrustManager {
     /// Serializes the complete table state (params + v accumulators).
     TrustCheckpoint checkpoint() const;
 
-    /// Reconstructs a table from a checkpoint. The result carries no
-    /// recorder attachment; the owner re-attaches if it wants telemetry.
-    static TrustManager restore(const TrustCheckpoint& snapshot);
+    /// Reconstructs a table from a checkpoint. Pass the recorder the
+    /// checkpointed table was instrumented with (or the successor's) so
+    /// post-restore judgements keep flowing into metrics/traces — a
+    /// restored table used to come back detached, silently dropping
+    /// trust.penalties after a warm CH failover.
+    static TrustManager restore(const TrustCheckpoint& snapshot,
+                                obs::Recorder* recorder = nullptr);
 
     /// Applies an externally decided judgement stream (shadow CHs mirror
     /// the same inputs; the base station demotes a faulty CH): identical to

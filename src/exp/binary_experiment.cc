@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/shadow_arbiter.h"
 #include "cluster/base_station.h"
 #include "cluster/cluster_head.h"
 #include "cluster/shadow.h"
@@ -17,6 +18,7 @@
 #include "sensor/event_generator.h"
 #include "sensor/sensor_node.h"
 #include "sim/simulator.h"
+#include "util/invariant.h"
 
 namespace tibfit::exp {
 
@@ -181,6 +183,26 @@ BinaryResult run_binary_experiment(const Scenario& scenario) {
         channel.set_drop_probability(standby_id, 0.0);
     }
 
+    // Self-checking: enable invariant evaluation for the duration of the
+    // run and attach one lockstep oracle per decision engine. With
+    // check.mode off the globals are untouched and no hook fires.
+    const bool check_on = scenario.check.mode != check::Mode::Off;
+    const bool check_abort = scenario.check.mode == check::Mode::Assert;
+    std::optional<util::ScopedInvariantAction> check_scope;
+    std::optional<check::ShadowArbiter> ch_shadow, standby_shadow;
+    if (check_on) {
+        check_scope.emplace(check_abort ? util::InvariantAction::Throw
+                                        : util::InvariantAction::Count);
+        ch_shadow.emplace(engine_cfg, check_abort);
+        ch_shadow->set_recorder(rec);
+        ch.engine().set_checker(&*ch_shadow);
+        if (standby) {
+            standby_shadow.emplace(engine_cfg, check_abort);
+            standby_shadow->set_recorder(rec);
+            standby->engine().set_checker(&*standby_shadow);
+        }
+    }
+
     // Optional ack/retry relay fabric: even in the single-hop cluster the
     // reliable transport retransmits reports the (possibly degraded)
     // channel eats, so correct nodes degrade gracefully under injection.
@@ -246,7 +268,7 @@ BinaryResult run_binary_experiment(const Scenario& scenario) {
                 from.set_active(false);
                 // begin_leadership reactivates `to` and re-attaches its
                 // recorder; cold handoff hands over a fresh table instead.
-                to.begin_leadership(f.warm_handoff ? core::TrustManager::restore(ckpt)
+                to.begin_leadership(f.warm_handoff ? core::TrustManager::restore(ckpt, rec)
                                                    : core::TrustManager(trust));
                 for (auto& n : nodes) n->set_cluster_head(to.id());
                 if (rec) {
@@ -364,6 +386,12 @@ BinaryResult run_binary_experiment(const Scenario& scenario) {
     result.mean_ti_faulty = n_f ? sum_f / static_cast<double>(n_f) : 1.0;
 
     if (scenario.keep_decisions) result.decisions = decisions;
+
+    for (const auto* shadow : {&ch_shadow, &standby_shadow}) {
+        if (!shadow->has_value()) continue;
+        result.checked_decisions += (*shadow)->decisions_checked();
+        result.oracle_divergences += (*shadow)->divergences();
+    }
 
     if (rec) {
         auto& reg = rec->metrics();

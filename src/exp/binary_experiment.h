@@ -75,6 +75,11 @@ struct BinaryResult {
     double mean_ti_correct = 1.0;   ///< final mean TI of correct nodes
     double mean_ti_faulty = 1.0;    ///< final mean TI of faulty nodes
     std::size_t ch_overrides = 0;   ///< decisions where shadows outvoted the CH
+    /// Differential-oracle tallies (zero unless check.mode != off): how
+    /// many decisions the shadow arbiter cross-checked, and how many
+    /// diverged from the paper-literal reference.
+    std::size_t checked_decisions = 0;
+    std::size_t oracle_divergences = 0;
     /// The CH decision log (only filled when BinaryConfig::keep_decisions;
     /// with shadows these are the post-override decisions).
     std::vector<cluster::DecisionRecord> decisions;

@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/shadow_arbiter.h"
 #include "cluster/base_station.h"
 #include "cluster/cluster_head.h"
 #include "inject/campaign.h"
@@ -19,6 +20,7 @@
 #include "sensor/mobility.h"
 #include "sensor/sensor_node.h"
 #include "sim/simulator.h"
+#include "util/invariant.h"
 
 namespace tibfit::exp {
 
@@ -216,6 +218,24 @@ LocationResult run_location_experiment(const Scenario& scenario) {
     channel.set_drop_probability(bs_id, 0.0);
 
     for (auto& n : nodes) n->set_cluster_head(heads.front()->id());
+
+    // Self-checking: enable invariant evaluation for the duration of the
+    // run and attach one lockstep oracle per CH engine (rotation hands the
+    // trust table between heads; each oracle resyncs on adoption). With
+    // check.mode off the globals are untouched and no hook fires.
+    const bool check_on = scenario.check.mode != check::Mode::Off;
+    const bool check_abort = scenario.check.mode == check::Mode::Assert;
+    std::optional<util::ScopedInvariantAction> check_scope;
+    std::vector<std::unique_ptr<check::ShadowArbiter>> shadows;
+    if (check_on) {
+        check_scope.emplace(check_abort ? util::InvariantAction::Throw
+                                        : util::InvariantAction::Count);
+        for (auto& h : heads) {
+            shadows.push_back(std::make_unique<check::ShadowArbiter>(engine_cfg, check_abort));
+            shadows.back()->set_recorder(rec);
+            h->engine().set_checker(shadows.back().get());
+        }
+    }
 
     // ---- Multi-hop relay fabric (Section 3.4 extension) ----
     // Sensors route reports toward the CHs through each other; CHs unwrap.
@@ -432,6 +452,11 @@ LocationResult run_location_experiment(const Scenario& scenario) {
     if (wl.keep_trace) {
         result.trace_events = generator.history();
         result.trace_decisions = std::move(decisions);
+    }
+
+    for (const auto& shadow : shadows) {
+        result.checked_decisions += shadow->decisions_checked();
+        result.oracle_divergences += shadow->divergences();
     }
 
     if (rec) {

@@ -122,6 +122,11 @@ struct LocationResult {
     double mean_ti_correct = 1.0;
     double mean_ti_faulty = 1.0;
     std::vector<double> epoch_accuracy;  ///< accuracy per epoch_events window
+    /// Differential-oracle tallies (zero unless check.mode != off):
+    /// decisions cross-checked by the shadow arbiters, and how many
+    /// diverged from the paper-literal reference.
+    std::size_t checked_decisions = 0;
+    std::size_t oracle_divergences = 0;
 
     /// Raw trace (populated only with LocationConfig::keep_trace).
     std::vector<sensor::GeneratedEvent> trace_events;

@@ -98,14 +98,11 @@ cluster::DeploymentConfig Scenario::deployment_config() const {
 std::vector<std::string> Scenario::validate() const {
     std::vector<std::string> errors;
 
-    // Protocol / trust.
-    if (engine.trust.lambda <= 0.0) errors.push_back("scenario: trust lambda must be > 0");
-    if (engine.trust.fault_rate > 1.0) errors.push_back("scenario: trust fault_rate > 1");
+    // Protocol / trust. Range checks live on TrustParams itself so direct
+    // core users get the same rejection table (removal_ti in [0, 1), ...).
+    for (const std::string& e : engine.trust.validate()) errors.push_back("scenario: " + e);
     if (kind == Kind::Location && engine.trust.fault_rate < 0.0) {
         errors.push_back("scenario: location runs need an explicit trust fault_rate >= 0");
-    }
-    if (engine.trust.removal_ti < 0.0 || engine.trust.removal_ti >= 1.0) {
-        errors.push_back("scenario: removal_ti outside [0, 1)");
     }
     if (engine.t_out <= 0.0) errors.push_back("scenario: t_out must be > 0");
     if (engine.r_error <= 0.0) errors.push_back("scenario: r_error must be > 0");
@@ -231,6 +228,11 @@ void write_json(const Scenario& s, obs::json::Writer& w) {
     w.field("ttl", static_cast<std::uint64_t>(s.transport.ttl));
     w.end_object();
 
+    w.key("check");
+    w.begin_object();
+    w.field("mode", check::mode_name(s.check.mode));
+    w.end_object();
+
     // LEACH/energy knobs of DeploymentConfig are not yet serialized; the
     // experiment runners consume only the geometry.
     w.key("deployment");
@@ -335,6 +337,9 @@ Scenario scenario_from_json(const obs::json::Value& v) {
         s.transport.max_retries =
             static_cast<std::uint32_t>(size_or(*t, "max_retries", s.transport.max_retries));
         s.transport.ttl = static_cast<std::uint8_t>(size_or(*t, "ttl", s.transport.ttl));
+    }
+    if (const auto* c = v.find("check")) {
+        s.check.mode = check::mode_from_name(c->string_or("mode", check::mode_name(s.check.mode)));
     }
     if (const auto* d = v.find("deployment")) {
         s.deployment.field = d->number_or("field", s.deployment.field);

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "check/config.h"
 #include "cluster/deployment.h"
 #include "core/decision_engine.h"
 #include "inject/campaign.h"
@@ -102,6 +103,12 @@ struct Scenario {
     BinaryWorkload binary;
     LocationWorkload location;
 
+    /// Self-checking: off (production, zero overhead), shadow (lockstep
+    /// differential oracle + invariant counting; the run completes and
+    /// reports divergence counts), assert (first divergence or invariant
+    /// violation throws). Serialized.
+    check::Settings check;
+
     /// Optional observability attachment (non-owning; may be nullptr).
     /// Instrumentation never touches the RNG, so results are bit-identical
     /// with or without it. Not serialized.
@@ -139,6 +146,7 @@ struct Scenario {
         return *this;
     }
     Scenario& with_recorder(obs::Recorder* rec) { recorder = rec; return *this; }
+    Scenario& with_check_mode(check::Mode m) { check.mode = m; return *this; }
 
     /// The trust parameters a run actually uses: resolves the binary-kind
     /// "fault_rate tracks NER" sentinel.

@@ -58,6 +58,15 @@ inline constexpr const char* kInjectDecisionsDegraded = "inject.decisions_degrad
 // exp::sweep trial aggregation
 inline constexpr const char* kSweepTruncatedRuns = "exp.sweep.truncated_runs";
 
+// Correctness tooling (tibfit::check + core safety nets). Deliberately
+// NOT pre-registered: round_cap_hits only materialises when the step-5
+// refinement loop is actually truncated, and the check.* counters only
+// when a run enables the shadow oracle, keeping the artifact shape of
+// ordinary runs byte-identical.
+inline constexpr const char* kClustererRoundCapHits = "core.clusterer.round_cap_hits";
+inline constexpr const char* kCheckDecisionsChecked = "check.decisions_checked";
+inline constexpr const char* kCheckDivergences = "check.divergences";
+
 // Experiment-level outcomes
 inline constexpr const char* kExpAccuracy = "exp.accuracy";
 inline constexpr const char* kExpEvents = "exp.events";

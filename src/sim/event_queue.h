@@ -19,11 +19,15 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <limits>
 #include <new>
 #include <stdexcept>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "util/invariant.h"
 
 namespace tibfit::sim {
 
@@ -247,6 +251,12 @@ class EventQueue {
         drop_cancelled_top();
         if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
         const Entry e = heap_pop();
+        // The future event list never runs backwards: each pop's timestamp
+        // is >= every earlier pop's (same-instant ties break by push order).
+        TIBFIT_CHECK(e.at >= last_pop_at_,
+                     "time ran backwards: " + std::to_string(e.at) + " after " +
+                         std::to_string(last_pop_at_));
+        last_pop_at_ = e.at;
         const auto slot = static_cast<std::uint32_t>(e.key & kSlotMask);
         // Move the action straight into the NRVO'd return value (one
         // relocation, not two). Releasing before the caller invokes the
@@ -297,6 +307,9 @@ class EventQueue {
     bool entry_live(const Entry& e) const {
         return slots_[static_cast<std::uint32_t>(e.key & kSlotMask)].key == e.key;
     }
+
+    /// Timestamp of the most recent pop, for the monotonic-time invariant.
+    Time last_pop_at_ = -std::numeric_limits<Time>::infinity();
 
     /// Pops a recycled slot off the free list, or grows the arena by one.
     std::uint32_t acquire_slot() {
